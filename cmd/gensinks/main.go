@@ -1,0 +1,60 @@
+// Command gensinks emits benchmark sink sets in the plain-text format the
+// other tools consume.
+//
+// Usage:
+//
+//	gensinks -bench prim1          # synthetic stand-in, published size
+//	gensinks -bench prim2-s       # scaled variant
+//	gensinks -count 128 -seed 7   # custom uniform instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lubt/internal/wkld"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark name ("+strings.Join(wkld.Names(), ", ")+"; -s suffix scales down)")
+		count = flag.Int("count", 0, "custom instance: sink count")
+		seed  = flag.Int64("seed", 1, "custom instance: RNG seed")
+		out   = flag.String("out", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+	if err := run(*bench, *count, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gensinks:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, count int, seed int64, out string) error {
+	var b *wkld.Benchmark
+	var err error
+	switch {
+	case bench != "" && count != 0:
+		return fmt.Errorf("use either -bench or -count, not both")
+	case bench != "":
+		b, err = wkld.Generate(bench)
+		if err != nil {
+			return err
+		}
+	case count > 0:
+		b = wkld.Custom(fmt.Sprintf("custom-%d-%d", count, seed), count, seed)
+	default:
+		return fmt.Errorf("need -bench or -count; see -h")
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return b.Write(w)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchmark(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sinks.txt")
+	if err := run("prim1-s", 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 269/4+2 { // sinks + name + source
+		t.Errorf("got %d lines", lines)
+	}
+}
+
+func TestRunCustom(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sinks.txt")
+	if err := run("", 12, 9, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if strings.Count(string(data), "\n") != 14 {
+		t.Errorf("wrong line count:\n%s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, 1, ""); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run("prim1", 5, 1, ""); err == nil {
+		t.Error("both modes accepted")
+	}
+	if err := run("bogus", 0, 1, ""); err == nil {
+		t.Error("unknown bench accepted")
+	}
+	if err := run("prim1-s", 0, 1, "/nonexistent-dir/x.txt"); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,192 @@
+// Command lubt routes one instance: it reads a sink list, builds a
+// topology, solves the EBF linear program for the requested delay window,
+// embeds the tree, and reports the result (optionally as SVG).
+//
+// Usage:
+//
+//	lubt -in sinks.txt -lower 0.8 -upper 1.2 [-skew-topology 0.4]
+//	     [-normalized] [-use-source] [-solver simplex|ipm] [-svg out.svg]
+//
+// The input format is the one emitted by gensinks: one "x y" pair per
+// line, optional "source x y" line, "#" comments. With -normalized,
+// -lower/-upper are multiples of the instance radius (as in the paper's
+// tables); otherwise they are absolute routing units.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"lubt"
+	"lubt/internal/wkld"
+)
+
+func main() {
+	var (
+		inPath     = flag.String("in", "", "sink list file (default: stdin)")
+		lower      = flag.Float64("lower", 0, "lower delay bound")
+		upper      = flag.Float64("upper", math.Inf(1), "upper delay bound (default +inf)")
+		normalized = flag.Bool("normalized", false, "interpret bounds as multiples of the radius")
+		useSource  = flag.Bool("use-source", false, "pin the source to the file's source line")
+		skewTopo   = flag.Float64("skew-topology", math.Inf(1), "skew bound guiding the topology generator")
+		solver     = flag.String("solver", "simplex", "LP solver: simplex, coldsimplex or ipm")
+		svgPath    = flag.String("svg", "", "write the routed tree as SVG to this file")
+		jsonPath   = flag.String("json", "", "write the routed tree as JSON to this file")
+		boundsPath = flag.String("bounds", "", "per-sink bounds file (one \"l u\" line per sink, overrides -lower/-upper)")
+	)
+	flag.Parse()
+	if err := run(*inPath, *lower, *upper, *normalized, *useSource, *skewTopo, *solver, *svgPath, *jsonPath, *boundsPath); err != nil {
+		fmt.Fprintln(os.Stderr, "lubt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath string, lower, upper float64, normalized, useSource bool, skewTopo float64, solver, svgPath, jsonPath, boundsPath string) error {
+	var bench *wkld.Benchmark
+	var err error
+	if inPath == "" {
+		bench, err = wkld.Read(os.Stdin)
+	} else {
+		f, ferr := os.Open(inPath)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		bench, err = wkld.Read(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	sinks := make([]lubt.Point, len(bench.Sinks))
+	for i, s := range bench.Sinks {
+		sinks[i] = lubt.Point{X: s.X, Y: s.Y}
+	}
+	inst, err := lubt.NewInstance(sinks)
+	if err != nil {
+		return err
+	}
+	if useSource {
+		inst.SetSource(lubt.Point{X: bench.Source.X, Y: bench.Source.Y})
+	}
+	if err := inst.UseSkewGuidedTopology(scaleBound(skewTopo, inst.Radius(), normalized)); err != nil {
+		return err
+	}
+	r := inst.Radius()
+	scale := 1.0
+	if normalized {
+		scale = r
+	}
+	var bounds lubt.Bounds
+	l, u := lower*scale, upper
+	if !math.IsInf(u, 1) {
+		u *= scale
+	}
+	if boundsPath != "" {
+		var err error
+		bounds, err = readBounds(boundsPath, len(sinks), scale)
+		if err != nil {
+			return err
+		}
+		l, u = math.Inf(1), math.Inf(-1) // summary only
+		for i := range bounds.Lower {
+			l = math.Min(l, bounds.Lower[i])
+			u = math.Max(u, bounds.Upper[i])
+		}
+	} else {
+		bounds = lubt.Uniform(len(sinks), l, u)
+	}
+	tree, err := inst.Solve(bounds, &lubt.Options{Solver: solver})
+	if err != nil {
+		return err
+	}
+	if err := tree.Verify(); err != nil {
+		return fmt.Errorf("result failed verification: %w", err)
+	}
+	fmt.Printf("bench      %s (%d sinks)\n", bench.Name, len(sinks))
+	fmt.Printf("radius     %.2f\n", r)
+	fmt.Printf("window     [%.2f, %.2f]\n", l, u)
+	fmt.Printf("cost       %.2f\n", tree.Cost)
+	fmt.Printf("delays     [%.2f, %.2f]  skew %.2f\n", tree.MinDelay, tree.MaxDelay, tree.Skew)
+	fmt.Printf("elongation %.2f\n", tree.TotalElongation())
+	if svgPath != "" {
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tree.WriteSVG(f); err != nil {
+			return err
+		}
+		fmt.Printf("svg        %s\n", svgPath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tree.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("json       %s\n", jsonPath)
+	}
+	return nil
+}
+
+// readBounds parses a per-sink bounds file: one "l u" pair per line in
+// sink order, "#" comments and blank lines ignored, "inf" accepted as an
+// upper bound. Values are multiplied by scale (the radius when
+// -normalized is set).
+func readBounds(path string, m int, scale float64) (lubt.Bounds, error) {
+	b := lubt.Bounds{}
+	f, err := os.Open(path)
+	if err != nil {
+		return b, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return b, fmt.Errorf("%s:%d: expected \"l u\"", path, line)
+		}
+		var l float64
+		if _, err := fmt.Sscanf(fields[0], "%g", &l); err != nil {
+			return b, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		u := math.Inf(1)
+		if fields[1] != "inf" {
+			if _, err := fmt.Sscanf(fields[1], "%g", &u); err != nil {
+				return b, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			u *= scale
+		}
+		b.Lower = append(b.Lower, l*scale)
+		b.Upper = append(b.Upper, u)
+	}
+	if err := sc.Err(); err != nil {
+		return b, err
+	}
+	if len(b.Lower) != m {
+		return b, fmt.Errorf("%s: %d bound lines for %d sinks", path, len(b.Lower), m)
+	}
+	return b, nil
+}
+
+func scaleBound(b, radius float64, normalized bool) float64 {
+	if math.IsInf(b, 1) || !normalized {
+		return b
+	}
+	return b * radius
+}

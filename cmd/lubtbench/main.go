@@ -1,0 +1,75 @@
+// Command lubtbench regenerates the paper's evaluation: Tables 1–3 and
+// Figure 8 (§8). By default it runs the scaled benchmark variants; -full
+// uses the published sink counts (slower — minutes per wide-window row on
+// the larger benchmarks).
+//
+// Usage:
+//
+//	lubtbench              # all tables and the figure, scaled benches
+//	lubtbench -table 1     # just Table 1
+//	lubtbench -figure 8    # just the Figure 8 curve
+//	lubtbench -full        # full-size instances
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lubt/internal/experiments"
+)
+
+func main() {
+	var (
+		tableN  = flag.Int("table", 0, "run only this table (1, 2 or 3)")
+		figureN = flag.Int("figure", 0, "run only this figure (8)")
+		full    = flag.Bool("full", false, "use full-size benchmark instances")
+	)
+	flag.Parse()
+	if err := run(*tableN, *figureN, *full); err != nil {
+		fmt.Fprintln(os.Stderr, "lubtbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tableN, figureN int, full bool) error {
+	benches := experiments.TableBenches(full)
+	all := tableN == 0 && figureN == 0
+	if tableN == 1 || all {
+		rows, err := experiments.Table1(benches, experiments.Skews1)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(rows).Render(os.Stdout)
+		fmt.Println()
+	}
+	if tableN == 2 || all {
+		rows, err := experiments.Table2(benches[:2], experiments.Skews2) // paper: prim1, prim2
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable2(rows).Render(os.Stdout)
+		fmt.Println()
+	}
+	if tableN == 3 || all {
+		rows, err := experiments.Table3(benches)
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable3(rows).Render(os.Stdout)
+		fmt.Println()
+	}
+	if figureN == 8 || all {
+		name := benches[1] // prim2 / prim2-s
+		rows, err := experiments.Figure8(name)
+		if err != nil {
+			return err
+		}
+		experiments.RenderFigure8(rows, name).Render(os.Stdout)
+		fmt.Println()
+	}
+	if tableN != 0 && tableN > 3 || figureN != 0 && figureN != 8 {
+		return fmt.Errorf("unknown table/figure: the paper has Tables 1-3 and Figure 8")
+	}
+	return nil
+}

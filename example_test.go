@@ -1,0 +1,56 @@
+package lubt_test
+
+import (
+	"fmt"
+	"math"
+
+	"lubt"
+)
+
+// ExampleInstance_Solve routes four sinks with a tolerable-skew window and
+// prints the verified result.
+func ExampleInstance_Solve() {
+	sinks := []lubt.Point{{X: 0, Y: 10}, {X: 10, Y: 10}, {X: 0, Y: 0}, {X: 10, Y: 0}}
+	inst, _ := lubt.NewInstance(sinks)
+	inst.SetSource(lubt.Point{X: 5, Y: 5})
+	_ = inst.UseBalancedTopology()
+
+	r := inst.Radius()                                  // farthest source-sink distance: 10
+	tree, err := inst.Solve(lubt.Uniform(4, r, r), nil) // zero skew at the radius
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cost %.0f, skew %.0f, verified: %v\n", tree.Cost, tree.Skew, tree.Verify() == nil)
+	// Output: cost 30, skew 0, verified: true
+}
+
+// ExampleInstance_Solve_globalRouting shows the l = 0 special case: a
+// delay-capped Steiner tree.
+func ExampleInstance_Solve_globalRouting() {
+	sinks := []lubt.Point{{X: 0, Y: 0}, {X: 8, Y: 0}, {X: 4, Y: 4}}
+	inst, _ := lubt.NewInstance(sinks)
+	_ = inst.UseBalancedTopology()
+
+	tree, err := inst.Solve(lubt.Uniform(3, 0, math.Inf(1)), nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("steiner cost %.0f\n", tree.Cost)
+	// Output: steiner cost 12
+}
+
+// ExampleUniform builds the per-sink window slices.
+func ExampleUniform() {
+	b := lubt.Uniform(3, 1, 2)
+	fmt.Println(b.Lower, b.Upper)
+	// Output: [1 1 1] [2 2 2]
+}
+
+// ExampleSkewBounds states the §6 tolerable-skew window.
+func ExampleSkewBounds() {
+	b := lubt.SkewBounds(2, 0.5, 2)
+	fmt.Println(b.Lower, b.Upper)
+	// Output: [1.5 1.5] [2 2]
+}

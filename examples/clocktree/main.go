@@ -1,0 +1,79 @@
+// Clocktree: tolerable-skew clock routing (§6 of the paper) on the prim1
+// benchmark stand-in, comparing the bounded-skew baseline against LUBT at
+// several skew budgets, and rendering the routed tree as SVG.
+//
+// In exact zero-skew routing every sink delay must match; allowing a
+// tolerable skew lets the router trade a little timing margin for a lot
+// of wirelength (and thus clock power). The LP exploits all of that
+// freedom optimally for the given topology.
+//
+// Run with: go run ./examples/clocktree
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"lubt"
+	"lubt/workloads"
+)
+
+func main() {
+	bench := workloads.MustLoad("prim1-s")
+	sinks := bench.Sinks
+	source := bench.Source
+
+	fmt.Println("skew budget (×R)  baseline cost  LUBT cost  saving")
+	var last *lubt.Tree
+	for _, skewFrac := range []float64{0, 0.1, 0.3, 0.5, 1.0} {
+		base, err := lubt.BoundedSkewBaseline(sinks, skewOf(skewFrac, sinks, source), &source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := lubt.NewInstance(sinks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst.SetSource(source)
+		if err := inst.UseCustomTopology(base.Parent); err != nil {
+			log.Fatal(err)
+		}
+		r := inst.Radius()
+		// The tolerable-skew window: cap at the baseline's longest delay,
+		// floor the budget below it.
+		u := base.MaxDelay
+		l := math.Max(0, u-skewFrac*r)
+		tree, err := inst.Solve(lubt.Uniform(len(sinks), l, u), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tree.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-17.2f %13.0f  %9.0f  %4.1f%%\n",
+			skewFrac, base.Cost, tree.Cost, 100*(1-tree.Cost/base.Cost))
+		last = tree
+	}
+
+	f, err := os.Create("clocktree.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := last.WriteSVG(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote clocktree.svg (skew budget 1.0×R tree)")
+}
+
+func skewOf(frac float64, sinks []lubt.Point, source lubt.Point) float64 {
+	r := 0.0
+	for _, s := range sinks {
+		if d := lubt.Dist(source, s); d > r {
+			r = d
+		}
+	}
+	return frac * r
+}

@@ -1,0 +1,53 @@
+// Quickstart: route a small clock net with delay bounds.
+//
+// Eight sinks on a 100×100 die, source pad at the bottom edge. We ask for
+// every source-sink delay to land in [0.9, 1.2]× the instance radius —
+// a tolerable-skew constraint of 0.3·radius with a hard delay cap — and
+// print the resulting tree.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lubt"
+)
+
+func main() {
+	sinks := []lubt.Point{
+		{X: 10, Y: 80}, {X: 35, Y: 95}, {X: 60, Y: 85}, {X: 90, Y: 70},
+		{X: 15, Y: 30}, {X: 40, Y: 45}, {X: 70, Y: 35}, {X: 95, Y: 20},
+	}
+	inst, err := lubt.NewInstance(sinks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst.SetSource(lubt.Point{X: 50, Y: 0})
+
+	// Topology from the skew-guided generator (the paper adopts the
+	// generator of its reference [9]).
+	if err := inst.UseSkewGuidedTopology(0.3 * inst.Radius()); err != nil {
+		log.Fatal(err)
+	}
+
+	r := inst.Radius()
+	bounds := lubt.Uniform(len(sinks), 0.9*r, 1.2*r)
+	tree, err := inst.Solve(bounds, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tree.Verify(); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+
+	fmt.Println(tree)
+	fmt.Printf("radius            %.2f\n", r)
+	fmt.Printf("total wirelength  %.2f\n", tree.Cost)
+	fmt.Printf("snaking (elong.)  %.2f\n", tree.TotalElongation())
+	fmt.Println("\nsink   delay    delay/radius")
+	for i, d := range tree.SinkDelays {
+		fmt.Printf("%4d   %7.2f  %.3f\n", i, d, d/r)
+	}
+}

@@ -1,0 +1,3 @@
+module lubt
+
+go 1.22

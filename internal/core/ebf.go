@@ -1,0 +1,543 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lubt/internal/lp"
+)
+
+// Options tune the EBF solve.
+type Options struct {
+	// Solver defaults to the two-phase simplex.
+	Solver lp.Solver
+	// Weights is the per-edge objective weight w_k (§7 "different weights
+	// on edges"), indexed by edge; nil means all ones. Entry 0 is unused.
+	Weights []float64
+	// FullMatrix disables row generation and states all C(m,2) Steiner
+	// rows upfront (the ablation baseline for §4.6).
+	FullMatrix bool
+	// MaxRounds bounds row-generation rounds; 0 means 200.
+	MaxRounds int
+	// Batch is the number of violated rows added per round; 0 means
+	// max(64, m).
+	Batch int
+	// Tol is the Steiner-violation tolerance, scaled by the instance
+	// radius; 0 means 1e-7.
+	Tol float64
+}
+
+func (o *Options) solver() lp.Solver {
+	if o != nil && o.Solver != nil {
+		return o.Solver
+	}
+	return &lp.Simplex{}
+}
+
+func (o *Options) weights(n int) []float64 {
+	if o != nil && o.Weights != nil {
+		if len(o.Weights) != n {
+			panic(fmt.Sprintf("core: %d weights for %d edges", len(o.Weights), n))
+		}
+		return o.Weights
+	}
+	w := make([]float64, n)
+	for i := 1; i < n; i++ {
+		w[i] = 1
+	}
+	return w
+}
+
+// Result is a solved EBF instance.
+type Result struct {
+	// E holds the optimal edge lengths, indexed by edge (entry 0 unused).
+	E []float64
+	// Cost is the weighted tree cost Σ w_k e_k.
+	Cost float64
+	// Delays holds per-node linear delays under E.
+	Delays []float64
+	// Rounds is the number of row-generation rounds used.
+	Rounds int
+	// RowsUsed is the number of Steiner rows in the final LP (compare
+	// against C(m,2) for the §4.6 reduction factor).
+	RowsUsed int
+	// LPIterations accumulates simplex/IPM iterations across rounds.
+	LPIterations int
+}
+
+// Solve computes the minimum-cost LUBT edge lengths for the instance and
+// bounds (Theorem 4.2). It returns ErrInfeasible when no tree satisfies
+// the bounds under the given topology.
+//
+// With the default solver (Options.Solver nil) the row-generation loop
+// runs on an incremental dual-simplex engine that warm-starts from the
+// previous basis after each batch of violated Steiner rows — the fast
+// realization of the §4.6 constraint reduction. Passing an explicit
+// solver (cold simplex or the interior-point method) re-solves each round
+// from scratch; that path exists for cross-checking and ablation.
+func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(in); err != nil {
+		return nil, err
+	}
+	if opt == nil || opt.Solver == nil {
+		return solveIncremental(in, b, opt)
+	}
+	t := in.Tree
+	n := t.N() // LP variables: edges 1…n−1 mapped to columns 1…n−1 (column 0 unused but harmless)
+	maxRounds := 200
+	if opt != nil && opt.MaxRounds > 0 {
+		maxRounds = opt.MaxRounds
+	}
+	batch := 0
+	if opt != nil {
+		batch = opt.Batch
+	}
+	if batch == 0 {
+		batch = t.NumSinks
+		if batch < 64 {
+			batch = 64
+		}
+	}
+	tol := 1e-7
+	if opt != nil && opt.Tol > 0 {
+		tol = opt.Tol
+	}
+	tol *= math.Max(1, in.Radius())
+
+	base := newBaseProblem(in, opt.weights(n), b)
+	type pairKey struct{ i, j int }
+	have := map[pairKey]bool{}
+	addPair := func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		k := pairKey{i, j}
+		if have[k] {
+			return
+		}
+		have[k] = true
+		base.addSteinerRow(in, i, j)
+	}
+
+	full := opt != nil && opt.FullMatrix
+	if full {
+		for i := 1; i <= t.NumSinks; i++ {
+			for j := i + 1; j <= t.NumSinks; j++ {
+				addPair(i, j)
+			}
+		}
+		if in.Source != nil {
+			for i := 1; i <= t.NumSinks; i++ {
+				addPair(0, i)
+			}
+		}
+	} else {
+		for _, pr := range seedPairs(in) {
+			addPair(pr[0], pr[1])
+		}
+	}
+
+	res := &Result{}
+	solver := opt.solver()
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("core: row generation did not converge in %d rounds", maxRounds)
+		}
+		sol, err := solver.Solve(base.p)
+		if err != nil {
+			return nil, fmt.Errorf("core: LP solve failed: %w", err)
+		}
+		switch sol.Status {
+		case lp.Optimal:
+		case lp.Infeasible:
+			// A subset of the true constraints is already infeasible, so
+			// the full problem is too.
+			return nil, fmt.Errorf("%w (LP infeasible after %d rounds)", ErrInfeasible, round)
+		default:
+			return nil, fmt.Errorf("core: LP returned %v", sol.Status)
+		}
+		res.Rounds = round + 1
+		res.LPIterations += sol.Iterations
+
+		e := make([]float64, n)
+		copy(e[1:], sol.X[1:n])
+		viol := violatedPairs(in, e, tol, batch)
+		if len(viol) == 0 || full {
+			res.E = e
+			res.Delays = t.Delays(e)
+			res.Cost = weightedCost(opt.weights(n), e)
+			res.RowsUsed = len(have)
+			return res, nil
+		}
+		for _, pr := range viol {
+			addPair(pr[0], pr[1])
+		}
+	}
+}
+
+// solveIncremental is the default Solve path: all rows live in one
+// incremental dual-simplex engine and violated Steiner rows are appended
+// between warm re-solves.
+func solveIncremental(in *Instance, b Bounds, opt *Options) (*Result, error) {
+	t := in.Tree
+	n := t.N()
+	maxRounds := 200
+	if opt != nil && opt.MaxRounds > 0 {
+		maxRounds = opt.MaxRounds
+	}
+	batch := 0
+	if opt != nil {
+		batch = opt.Batch
+	}
+	if batch == 0 {
+		batch = t.NumSinks
+		if batch < 64 {
+			batch = 64
+		}
+	}
+	tol := 1e-7
+	if opt != nil && opt.Tol > 0 {
+		tol = opt.Tol
+	}
+	tol *= math.Max(1, in.Radius())
+	w := opt.weights(n)
+
+	inc := lp.NewIncremental(n, w)
+	for k := 1; k < n; k++ {
+		if t.ForcedZero[k] {
+			inc.AddRow([]lp.Term{{Var: k, Coef: 1}}, lp.LE, 0)
+		}
+	}
+	for i := 1; i <= t.NumSinks; i++ {
+		path := unitTermsOf(t.PathToRoot(i))
+		l, u := b.L[i], b.U[i]
+		if l == u {
+			inc.AddRow(path, lp.EQ, l)
+			continue
+		}
+		if l > 0 {
+			inc.AddRow(path, lp.GE, l)
+		}
+		if !math.IsInf(u, 1) {
+			inc.AddRow(path, lp.LE, u)
+		}
+	}
+
+	type pairKey struct{ i, j int }
+	have := map[pairKey]bool{}
+	addPair := func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		k := pairKey{i, j}
+		if have[k] {
+			return
+		}
+		have[k] = true
+		inc.AddRow(unitTermsOf(t.Path(i, j)), lp.GE, in.Dist(i, j))
+	}
+	full := opt != nil && opt.FullMatrix
+	if full {
+		for i := 1; i <= t.NumSinks; i++ {
+			for j := i + 1; j <= t.NumSinks; j++ {
+				addPair(i, j)
+			}
+		}
+		if in.Source != nil {
+			for i := 1; i <= t.NumSinks; i++ {
+				addPair(0, i)
+			}
+		}
+	} else {
+		for _, pr := range seedPairs(in) {
+			addPair(pr[0], pr[1])
+		}
+	}
+
+	res := &Result{}
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("core: row generation did not converge in %d rounds", maxRounds)
+		}
+		sol, err := inc.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("core: LP solve failed: %w", err)
+		}
+		switch sol.Status {
+		case lp.Optimal:
+		case lp.Infeasible:
+			return nil, fmt.Errorf("%w (LP infeasible after %d rounds)", ErrInfeasible, round)
+		default:
+			return nil, fmt.Errorf("core: LP returned %v", sol.Status)
+		}
+		res.Rounds = round + 1
+		res.LPIterations = inc.Iterations()
+
+		e := make([]float64, n)
+		copy(e[1:], sol.X[1:n])
+		viol := violatedPairs(in, e, tol, batch)
+		if len(viol) == 0 || full {
+			res.E = e
+			res.Delays = t.Delays(e)
+			res.Cost = weightedCost(w, e)
+			res.RowsUsed = len(have)
+			return res, nil
+		}
+		for _, pr := range viol {
+			addPair(pr[0], pr[1])
+		}
+	}
+}
+
+func unitTermsOf(vars []int) []lp.Term {
+	ts := make([]lp.Term, len(vars))
+	for i, v := range vars {
+		ts[i] = lp.Term{Var: v, Coef: 1}
+	}
+	return ts
+}
+
+// baseProblem wraps the growing LP.
+type baseProblem struct {
+	p *lp.Problem
+}
+
+// newBaseProblem states the objective, the delay rows (§4.2) and the
+// forced-zero rows from degree splitting. Edge k is LP variable k.
+func newBaseProblem(in *Instance, w []float64, b Bounds) *baseProblem {
+	t := in.Tree
+	n := t.N()
+	p := lp.NewProblem(n)
+	for k := 1; k < n; k++ {
+		p.SetCost(k, w[k])
+	}
+	// Variable 0 is a dummy (edges are 1-indexed); pin it to zero.
+	p.AddSumEQ([]int{0}, 0, "dummy")
+	for k := 1; k < n; k++ {
+		if t.ForcedZero[k] {
+			p.AddSumEQ([]int{k}, 0, fmt.Sprintf("zero e%d", k))
+		}
+	}
+	for i := 1; i <= t.NumSinks; i++ {
+		path := t.PathToRoot(i)
+		l, u := b.L[i], b.U[i]
+		switch {
+		case l == u:
+			p.AddSumEQ(path, l, fmt.Sprintf("delay s%d = %g", i, l))
+		default:
+			if l > 0 {
+				p.AddSumGE(path, l, fmt.Sprintf("delay s%d >= %g", i, l))
+			}
+			if !math.IsInf(u, 1) {
+				p.AddSumLE(path, u, fmt.Sprintf("delay s%d <= %g", i, u))
+			}
+		}
+	}
+	return &baseProblem{p: p}
+}
+
+// addSteinerRow states Σ_{e∈path(s_i,s_j)} e ≥ dist(s_i,s_j); index 0
+// denotes the source.
+func (bp *baseProblem) addSteinerRow(in *Instance, i, j int) {
+	path := in.Tree.Path(i, j)
+	bp.p.AddSumGE(path, in.Dist(i, j), fmt.Sprintf("steiner %d-%d", i, j))
+}
+
+// seedPairs returns the initial Steiner rows for row generation: for every
+// internal node, the farthest sink pair straddling its two child subtrees
+// (the candidate most likely to bind), plus every source-sink pair when
+// the source is fixed. Farthest pairs come from rotated-coordinate
+// extremes, so seeding costs O(n).
+func seedPairs(in *Instance) [][2]int {
+	t := in.Tree
+	type extreme struct {
+		minU, maxU, minV, maxV float64
+		argMinU, argMaxU       int
+		argMinV, argMaxV       int
+	}
+	ex := make([]extreme, t.N())
+	post := t.Postorder()
+	for _, k := range post {
+		if t.IsSink(k) {
+			u, v := in.SinkLoc[k].UV()
+			ex[k] = extreme{u, u, v, v, k, k, k, k}
+			continue
+		}
+		first := true
+		for _, c := range t.Children(k) {
+			if first {
+				ex[k] = ex[c]
+				first = false
+				continue
+			}
+			if ex[c].minU < ex[k].minU {
+				ex[k].minU, ex[k].argMinU = ex[c].minU, ex[c].argMinU
+			}
+			if ex[c].maxU > ex[k].maxU {
+				ex[k].maxU, ex[k].argMaxU = ex[c].maxU, ex[c].argMaxU
+			}
+			if ex[c].minV < ex[k].minV {
+				ex[k].minV, ex[k].argMinV = ex[c].minV, ex[c].argMinV
+			}
+			if ex[c].maxV > ex[k].maxV {
+				ex[k].maxV, ex[k].argMaxV = ex[c].maxV, ex[c].argMaxV
+			}
+		}
+		if first {
+			// Internal node with no sink below (cannot happen in valid
+			// merge topologies, but stay safe).
+			ex[k] = extreme{math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1), -1, -1, -1, -1}
+		}
+	}
+	var pairs [][2]int
+	for k := 0; k < t.N(); k++ {
+		ch := t.Children(k)
+		if len(ch) < 2 {
+			continue
+		}
+		for a := 0; a < len(ch); a++ {
+			for b := a + 1; b < len(ch); b++ {
+				ea, eb := ex[ch[a]], ex[ch[b]]
+				if ea.argMaxU < 0 || eb.argMaxU < 0 {
+					continue
+				}
+				// Candidate farthest pairs across the two subtrees in each
+				// rotated axis.
+				cands := [][2]int{
+					{ea.argMaxU, eb.argMinU}, {ea.argMinU, eb.argMaxU},
+					{ea.argMaxV, eb.argMinV}, {ea.argMinV, eb.argMaxV},
+				}
+				best, bd := cands[0], -1.0
+				for _, c := range cands {
+					if d := in.Dist(c[0], c[1]); d > bd {
+						best, bd = c, d
+					}
+				}
+				pairs = append(pairs, best)
+			}
+		}
+	}
+	if in.Source != nil {
+		for i := 1; i <= t.NumSinks; i++ {
+			pairs = append(pairs, [2]int{0, i})
+		}
+	}
+	return pairs
+}
+
+// violatedPairs runs the separation oracle: it scans all fixed-point pairs
+// for Steiner violations under edge lengths e and returns the worst
+// `batch` of them. Path lengths use the O(1) LCA, so a scan is O(m²).
+func violatedPairs(in *Instance, e []float64, tol float64, batch int) [][2]int {
+	t := in.Tree
+	d := t.Delays(e)
+	type viol struct {
+		pair   [2]int
+		amount float64
+	}
+	var vs []viol
+	m := t.NumSinks
+	for i := 1; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			need := in.Dist(i, j)
+			if need == 0 {
+				continue
+			}
+			if pl := t.PathLength(i, j, d); need-pl > tol {
+				vs = append(vs, viol{[2]int{i, j}, need - pl})
+			}
+		}
+	}
+	if in.Source != nil {
+		for i := 1; i <= m; i++ {
+			if need := in.Dist(0, i); need-d[i] > tol {
+				vs = append(vs, viol{[2]int{0, i}, need - d[i]})
+			}
+		}
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a].amount > vs[b].amount })
+	if len(vs) > batch {
+		vs = vs[:batch]
+	}
+	out := make([][2]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.pair
+	}
+	return out
+}
+
+// steinerViolation returns the worst Steiner-constraint violation of e
+// over all fixed-point pairs (0 when geometrically feasible).
+func steinerViolation(in *Instance, e []float64) float64 {
+	t := in.Tree
+	d := t.Delays(e)
+	m := t.NumSinks
+	worst := 0.0
+	for i := 1; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if v := in.Dist(i, j) - t.PathLength(i, j, d); v > worst {
+				worst = v
+			}
+		}
+	}
+	if in.Source != nil {
+		for i := 1; i <= m; i++ {
+			if v := in.Dist(0, i) - d[i]; v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+func weightedCost(w, e []float64) float64 {
+	var s float64
+	for k := 1; k < len(e); k++ {
+		s += w[k] * e[k]
+	}
+	return s
+}
+
+// Verify checks an edge-length vector against every EBF constraint by full
+// enumeration (all C(m,2) Steiner rows, all delay rows, forced zeros,
+// non-negativity). tol is absolute. It is the test oracle for Solve.
+func Verify(in *Instance, b Bounds, e []float64, tol float64) error {
+	t := in.Tree
+	d := t.Delays(e)
+	for k := 1; k < t.N(); k++ {
+		if e[k] < -tol {
+			return fmt.Errorf("core: edge %d negative (%g)", k, e[k])
+		}
+		if t.ForcedZero[k] && math.Abs(e[k]) > tol {
+			return fmt.Errorf("core: forced-zero edge %d has length %g", k, e[k])
+		}
+	}
+	m := t.NumSinks
+	for i := 1; i <= m; i++ {
+		if d[i] < b.L[i]-tol {
+			return fmt.Errorf("core: sink %d delay %g below lower bound %g", i, d[i], b.L[i])
+		}
+		if d[i] > b.U[i]+tol {
+			return fmt.Errorf("core: sink %d delay %g above upper bound %g", i, d[i], b.U[i])
+		}
+	}
+	for i := 1; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			if pl, need := t.PathLength(i, j, d), in.Dist(i, j); pl < need-tol {
+				return fmt.Errorf("core: Steiner constraint (%d,%d) violated: path %g < dist %g", i, j, pl, need)
+			}
+		}
+	}
+	if in.Source != nil {
+		for i := 1; i <= m; i++ {
+			if need := in.Dist(0, i); d[i] < need-tol {
+				return fmt.Errorf("core: source-sink constraint %d violated: %g < %g", i, d[i], need)
+			}
+		}
+	}
+	return nil
+}

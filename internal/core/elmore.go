@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lubt/internal/delay"
+	"lubt/internal/lp"
+)
+
+// ElmoreOptions tune SolveElmore.
+type ElmoreOptions struct {
+	// Model supplies r_w, c_w and sink loads. Required.
+	Model delay.Elmore
+	// Solver defaults to simplex.
+	Solver lp.Solver
+	// MaxIter bounds SLP iterations; 0 means 300.
+	MaxIter int
+	// Tol is the Elmore bound-violation tolerance relative to the bound
+	// magnitudes; 0 means 1e-6.
+	Tol float64
+	// Weights as in Options.
+	Weights []float64
+}
+
+// ElmoreResult is the outcome of the sequential-LP heuristic.
+type ElmoreResult struct {
+	E          []float64 // edge lengths
+	Cost       float64   // weighted wirelength
+	Delays     []float64 // Elmore delays per node
+	Iterations int
+	// MaxViolation is the residual Elmore delay-window violation in time
+	// units (≤ the solver tolerance × bound scale on success).
+	MaxViolation float64
+}
+
+// SolveElmore solves the EBF under the Elmore delay model (§7). The
+// delay constraints are quadratic in the edge lengths, so — as the paper
+// notes — the problem is no longer an LP; following the paper's
+// suggestion of a general nonlinear method, we use sequential linear
+// programming: linearize the Elmore delays around the current point with
+// the exact gradient, solve the resulting LP inside an ∞-norm trust
+// region, and accept or shrink classically. The Steiner constraints stay
+// exact (they are linear), maintained by the same separation oracle as the
+// linear solver. The result is feasible but only locally optimal; with
+// l=0 the feasible set is convex and SLP converges to the global optimum
+// in practice.
+func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opt == nil || (opt.Model.Rw == 0 && opt.Model.Cw == 0) {
+		return nil, fmt.Errorf("core: SolveElmore requires an Elmore model")
+	}
+	t := in.Tree
+	m := t.NumSinks
+	if len(b.L) != m+1 || len(b.U) != m+1 {
+		return nil, fmt.Errorf("core: bounds sized %d/%d for %d sinks", len(b.L), len(b.U), m)
+	}
+	solver := opt.Solver
+	if solver == nil {
+		solver = &lp.Simplex{}
+	}
+	maxIter := opt.MaxIter
+	if maxIter == 0 {
+		maxIter = 300
+	}
+	n := t.N()
+	w := (&Options{Weights: opt.Weights}).weights(n)
+	mdl := opt.Model
+
+	// Starting point: the minimum-wirelength tree (Steiner constraints
+	// only), which satisfies the geometric constraints exactly. A nil
+	// opt.Solver selects the fast incremental engine.
+	start, err := Solve(in, UniformBounds(m, 0, math.Inf(1)), &Options{Solver: opt.Solver, Weights: opt.Weights})
+	if err != nil {
+		return nil, fmt.Errorf("core: Elmore warm start failed: %w", err)
+	}
+	e := start.E
+
+	// Delay padding: sinks below their lower bound get their leaf edge
+	// elongated by the positive root of the quadratic delay increment
+	//
+	//	Δdelay = (r_w c_w / 2) δ² + r_w (c_w e_i + C_i + c_w·pathlen) δ,
+	//
+	// which only ever increases delays, so a few passes meet every lower
+	// bound; SLP then repairs any upper bounds broken in the process.
+	if mdl.Rw > 0 && mdl.Cw > 0 {
+		for pass := 0; pass < 30; pass++ {
+			d := mdl.Delays(t, e)
+			caps := mdl.SubtreeCaps(t, e)
+			lin := t.Delays(e)
+			padded := false
+			for i := 1; i <= m; i++ {
+				need := b.L[i] - d[i]
+				if need <= 0 {
+					continue
+				}
+				qa := mdl.Rw * mdl.Cw / 2
+				qb := mdl.Rw * (mdl.Cw*e[i] + caps[i] + mdl.Cw*lin[t.Parent[i]])
+				e[i] += (-qb + math.Sqrt(qb*qb+4*qa*need)) / (2 * qa)
+				padded = true
+			}
+			if !padded {
+				break
+			}
+		}
+	}
+
+	// Scales for the dimensionless violation measure: delay-bound
+	// violations are in time units, Steiner violations in length units.
+	timeScale := 0.0
+	for i := 1; i <= m; i++ {
+		if !math.IsInf(b.U[i], 1) {
+			timeScale = math.Max(timeScale, math.Abs(b.U[i]))
+		}
+		timeScale = math.Max(timeScale, math.Abs(b.L[i]))
+	}
+	if timeScale == 0 {
+		timeScale = 1 // no finite bounds: only Steiner feasibility matters
+	}
+	geoScale := 1 + in.Radius()
+	tol := opt.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	// boundViol is the worst delay-window violation in time units.
+	boundViol := func(e []float64) float64 {
+		d := mdl.Delays(t, e)
+		worst := 0.0
+		for i := 1; i <= m; i++ {
+			worst = math.Max(worst, b.L[i]-d[i])
+			if !math.IsInf(b.U[i], 1) {
+				worst = math.Max(worst, d[i]-b.U[i])
+			}
+		}
+		return worst
+	}
+	// violation is the dimensionless residual driving acceptance.
+	violation := func(e []float64) float64 {
+		return math.Max(boundViol(e)/timeScale, steinerViolation(in, e)/geoScale)
+	}
+	cost := func(e []float64) float64 { return weightedCost(w, e) }
+
+	// Filter acceptance: a step is accepted when it reduces the true
+	// violation, or keeps feasibility (violation ≤ tol) while reducing
+	// cost. This is robust where a fixed-penalty merit function stalls on
+	// slowly-improving violations.
+	better := func(candV, candC, curV, curC float64) bool {
+		if curV > tol {
+			return candV < curV-1e-15 || (candV <= curV+1e-15 && candC < curC-1e-12)
+		}
+		return candV <= tol && candC < curC-1e-12
+	}
+
+	// Growing Steiner row pool (pairs), seeded like the linear solver.
+	type pairKey struct{ i, j int }
+	pool := map[pairKey][2]int{}
+	addPair := func(pr [2]int) {
+		i, j := pr[0], pr[1]
+		if i > j {
+			i, j = j, i
+		}
+		pool[pairKey{i, j}] = [2]int{i, j}
+	}
+	for _, pr := range seedPairs(in) {
+		addPair(pr)
+	}
+
+	tau := math.Max(in.Radius()/4, 1e-3)
+	best := append([]float64(nil), e...)
+	bestV, bestC := violation(best), cost(best)
+	// Elastic penalty per unit of delay-window slack (time units →
+	// wirelength units); escalated when violation stops improving.
+	penalty := 100 * (1 + cost(e)) / timeScale
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Refresh Steiner pool at the current point.
+		for _, pr := range violatedPairs(in, e, 1e-9*(1+in.Radius()), 4*m) {
+			addPair(pr)
+		}
+		// Linearize at a floored point: the Elmore delay is a convex
+		// (posynomial) quadratic, so its tangent anywhere is a global
+		// underestimator — lower-bound rows stay valid — and the floor
+		// keeps the gradient from vanishing on zero-length subtrees.
+		ep := make([]float64, n)
+		// The floor shrinks with the trust region so its model bias
+		// vanishes as the iteration converges.
+		floor := math.Min(0.02*(1+in.Radius()), 0.1*tau)
+		for k := 1; k < n; k++ {
+			ep[k] = math.Max(e[k], floor)
+			if t.ForcedZero[k] {
+				ep[k] = e[k]
+			}
+		}
+		d := mdl.Delays(t, ep)
+		// Elastic subproblem: edge variables 1…n−1 plus one penalized
+		// slack per finite delay bound, so the linearized LP is always
+		// feasible regardless of the trust region.
+		nSlack := 0
+		for i := 1; i <= m; i++ {
+			if b.L[i] > 0 {
+				nSlack++
+			}
+			if !math.IsInf(b.U[i], 1) {
+				nSlack++
+			}
+		}
+		p := lp.NewProblem(n + nSlack)
+		for k := 1; k < n; k++ {
+			p.SetCost(k, w[k])
+		}
+		for s := 0; s < nSlack; s++ {
+			p.SetCost(n+s, penalty)
+		}
+		for k := 1; k < n; k++ {
+			if t.ForcedZero[k] {
+				p.AddSumEQ([]int{k}, 0, "")
+				continue
+			}
+			// Trust region.
+			p.AddConstraint([]lp.Term{{Var: k, Coef: 1}}, lp.LE, e[k]+tau, "")
+			if lo := e[k] - tau; lo > 0 {
+				p.AddConstraint([]lp.Term{{Var: k, Coef: 1}}, lp.GE, lo, "")
+			}
+		}
+		for _, pr := range pool {
+			path := t.Path(pr[0], pr[1])
+			p.AddSumGE(path, in.Dist(pr[0], pr[1]), "")
+		}
+		// Linearized Elmore delay windows with elastic slack:
+		// d_j(e0) + g_j·(e−e0) + s ≥ l,  d_j(e0) + g_j·(e−e0) − s' ≤ u.
+		slack := n
+		for i := 1; i <= m; i++ {
+			g := mdl.Gradient(t, ep, i)
+			var terms []lp.Term
+			off := d[i]
+			for k := 1; k < n; k++ {
+				if g[k] != 0 {
+					terms = append(terms, lp.Term{Var: k, Coef: g[k]})
+					off -= g[k] * ep[k]
+				}
+			}
+			if b.L[i] > 0 {
+				rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slack, Coef: 1})
+				p.AddConstraint(rows, lp.GE, b.L[i]-off, "")
+				slack++
+			}
+			if !math.IsInf(b.U[i], 1) {
+				rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slack, Coef: -1})
+				p.AddConstraint(rows, lp.LE, b.U[i]-off, "")
+				slack++
+			}
+		}
+		sol, err := solver.Solve(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: SLP subproblem failed: %w", err)
+		}
+		if sol.Status != lp.Optimal {
+			// Elastic rows make genuine infeasibility impossible; treat
+			// solver trouble as a failed step.
+			tau *= 0.5
+			if tau < 1e-10*(1+in.Radius()) {
+				break
+			}
+			continue
+		}
+		cand := make([]float64, n)
+		copy(cand[1:], sol.X[1:n])
+		step := 0.0
+		for k := 1; k < n; k++ {
+			step = math.Max(step, math.Abs(cand[k]-e[k]))
+		}
+		candV, candC := violation(cand), cost(cand)
+		curV, curC := violation(e), cost(e)
+		if better(candV, candC, curV, curC) {
+			e = cand
+			tau = math.Min(tau*1.5, 8*(1+in.Radius()))
+			if better(candV, candC, bestV, bestC) {
+				copy(best, cand)
+				bestV, bestC = candV, candC
+			}
+		} else {
+			tau *= 0.5
+			if curV > tol {
+				// Violation is stuck: escalate the elastic penalty so the
+				// next subproblem prioritizes feasibility over cost.
+				penalty = math.Min(penalty*4, 1e12*(1+cost(e))/timeScale)
+			}
+		}
+		if curV <= tol && step < 1e-7*(1+in.Radius()) {
+			break
+		}
+		if tau < 1e-10*(1+in.Radius()) {
+			break
+		}
+	}
+	e = best
+	if v := violation(e); v > tol {
+		return nil, fmt.Errorf("%w (Elmore SLP stalled with residual %g)", ErrInfeasible, v)
+	}
+	return &ElmoreResult{
+		E:            e,
+		Cost:         cost(e),
+		Delays:       mdl.Delays(t, e),
+		Iterations:   iters,
+		MaxViolation: boundViol(e),
+	}, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lubt/internal/delay"
+	"lubt/internal/geom"
+	"lubt/internal/topology"
+)
+
+func elmoreInstance(t *testing.T, rng *rand.Rand, m int) *Instance {
+	t.Helper()
+	tree, err := topology.RandomBinary(rng, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Instance{Tree: tree, SinkLoc: make([]geom.Point, m+1)}
+	for i := 1; i <= m; i++ {
+		in.SinkLoc[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	return in
+}
+
+func TestSolveElmoreUpperBoundOnly(t *testing.T) {
+	// Convex case (l = 0): cap the Elmore delay above the unconstrained
+	// tree's worst delay — the Steiner-minimal tree must already satisfy
+	// it, and the solve must return essentially that tree.
+	rng := rand.New(rand.NewSource(71))
+	in := elmoreInstance(t, rng, 5)
+	mdl := delay.Elmore{Rw: 0.1, Cw: 0.2}
+	unconstrained, err := Solve(in, UniformBounds(5, 0, math.Inf(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 1; i <= 5; i++ {
+		worst = math.Max(worst, mdl.Delays(in.Tree, unconstrained.E)[i])
+	}
+	b := Bounds{L: make([]float64, 6), U: make([]float64, 6)}
+	for i := 1; i <= 5; i++ {
+		b.U[i] = worst * 1.01
+	}
+	res, err := SolveElmore(in, b, &ElmoreOptions{Model: mdl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > unconstrained.Cost*1.01+1e-6 {
+		t.Fatalf("loose Elmore cap should not raise cost: %g vs %g",
+			res.Cost, unconstrained.Cost)
+	}
+}
+
+func TestSolveElmoreTightUpperBound(t *testing.T) {
+	// A binding upper bound: delays must come in under it, Steiner
+	// feasibility must hold (verified via the linear-geometry oracle).
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 10; trial++ {
+		m := 3 + rng.Intn(4)
+		in := elmoreInstance(t, rng, m)
+		mdl := delay.Elmore{Rw: 0.05, Cw: 0.1}
+		unconstrained, err := Solve(in, UniformBounds(m, 0, math.Inf(1)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl := mdl.Delays(in.Tree, unconstrained.E)
+		worst := 0.0
+		for i := 1; i <= m; i++ {
+			worst = math.Max(worst, dl[i])
+		}
+		// Cap at 0.95 of the unconstrained worst; trials where that is
+		// genuinely unreachable for the topology report ErrInfeasible and
+		// are skipped below.
+		b := Bounds{L: make([]float64, m+1), U: make([]float64, m+1)}
+		for i := 1; i <= m; i++ {
+			b.U[i] = worst * 0.95
+		}
+		res, err := SolveElmore(in, b, &ElmoreOptions{Model: mdl})
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue // genuinely too tight for this topology
+			}
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d := mdl.Delays(in.Tree, res.E)
+		for i := 1; i <= m; i++ {
+			if d[i] > b.U[i]*1.000001+1e-9 {
+				t.Fatalf("trial %d: delay %g above cap %g", trial, d[i], b.U[i])
+			}
+		}
+		// Steiner feasibility with loose linear bounds.
+		loose := UniformBounds(m, 0, math.Inf(1))
+		if err := Verify(in, loose, res.E, 1e-5); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveElmoreLowerBound(t *testing.T) {
+	// Non-zero lower bounds (the non-convex case): sinks must be slowed
+	// down to at least l by wire elongation.
+	rng := rand.New(rand.NewSource(73))
+	in := elmoreInstance(t, rng, 4)
+	mdl := delay.Elmore{Rw: 0.1, Cw: 0.1}
+	unconstrained, err := Solve(in, UniformBounds(4, 0, math.Inf(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := mdl.Delays(in.Tree, unconstrained.E)
+	worst := 0.0
+	for i := 1; i <= 4; i++ {
+		worst = math.Max(worst, dl[i])
+	}
+	b := Bounds{L: make([]float64, 5), U: make([]float64, 5)}
+	for i := 1; i <= 4; i++ {
+		b.L[i] = worst     // force every sink up to the worst delay
+		b.U[i] = worst * 3 // generous cap
+	}
+	res, err := SolveElmore(in, b, &ElmoreOptions{Model: mdl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mdl.Delays(in.Tree, res.E)
+	if res.MaxViolation > 1e-5*(1+worst) {
+		t.Fatalf("reported violation %g too large", res.MaxViolation)
+	}
+	for i := 1; i <= 4; i++ {
+		if d[i] < worst-res.MaxViolation-1e-12 {
+			t.Fatalf("delay(s%d) = %g below lower bound %g beyond reported violation %g",
+				i, d[i], worst, res.MaxViolation)
+		}
+	}
+	if res.MaxViolation > 1e-3 {
+		t.Fatalf("residual violation %g", res.MaxViolation)
+	}
+}
+
+func TestSolveElmoreRequiresModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	in := elmoreInstance(t, rng, 3)
+	if _, err := SolveElmore(in, UniformBounds(3, 0, 1), nil); err == nil {
+		t.Error("nil options accepted")
+	}
+	if _, err := SolveElmore(in, UniformBounds(3, 0, 1), &ElmoreOptions{}); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+func TestSolveElmoreBadBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	in := elmoreInstance(t, rng, 3)
+	bad := Bounds{L: make([]float64, 2), U: make([]float64, 2)}
+	if _, err := SolveElmore(in, bad, &ElmoreOptions{Model: delay.Elmore{Rw: 1, Cw: 1}}); err == nil {
+		t.Error("mis-sized bounds accepted")
+	}
+}

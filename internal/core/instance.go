@@ -1,0 +1,144 @@
+// Package core implements the paper's primary contribution: the
+// Edge-Based Formulation (EBF) of the Lower/Upper Bounded delay routing
+// Tree problem (§4). Given a rooted topology and per-sink delay bounds, it
+// assembles the LP over edge lengths
+//
+//	min Σ w_k e_k
+//	s.t. Σ_{e∈path(s_i,s_j)} e ≥ dist(s_i,s_j)    (Steiner constraints, §4.1)
+//	     l_i ≤ Σ_{e∈path(s_0,s_i)} e ≤ u_i        (delay constraints, §4.2)
+//	     e ≥ 0
+//
+// and solves it with the LP solvers of internal/lp, using row generation
+// to realize the constraint reduction of §4.6. The package also contains
+// the sequential-LP heuristic for the Elmore-delay extension of §7.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lubt/internal/geom"
+	"lubt/internal/topology"
+)
+
+// Instance is one LUBT problem instance: a topology plus the fixed
+// locations (sinks, and optionally the source).
+type Instance struct {
+	Tree *topology.Tree
+	// SinkLoc is indexed by sink id 1…m; entry 0 is unused.
+	SinkLoc []geom.Point
+	// Source is the fixed source location, or nil when the source position
+	// is free (Eq. 4 applies instead of Eq. 3).
+	Source *geom.Point
+}
+
+// ErrInfeasible reports that no tree satisfies the bounds under the given
+// topology (the situation of Fig. 1).
+var ErrInfeasible = errors.New("core: no LUBT exists for this topology and bounds")
+
+// Validate checks structural consistency.
+func (in *Instance) Validate() error {
+	if in.Tree == nil {
+		return errors.New("core: instance has no topology")
+	}
+	if len(in.SinkLoc) != in.Tree.NumSinks+1 {
+		return fmt.Errorf("core: %d sink locations for %d sinks",
+			len(in.SinkLoc)-1, in.Tree.NumSinks)
+	}
+	return nil
+}
+
+// Dist returns the Manhattan distance between fixed points i and j, where
+// 0 denotes the source (valid only when its location is given) and 1…m
+// denote sinks.
+func (in *Instance) Dist(i, j int) float64 {
+	return geom.Dist(in.loc(i), in.loc(j))
+}
+
+func (in *Instance) loc(i int) geom.Point {
+	if i == 0 {
+		if in.Source == nil {
+			panic("core: source location not given")
+		}
+		return *in.Source
+	}
+	return in.SinkLoc[i]
+}
+
+// Radius implements §2: with a given source it is the distance from the
+// source to the farthest sink; otherwise it is half the sink diameter.
+func (in *Instance) Radius() float64 {
+	m := in.Tree.NumSinks
+	if in.Source != nil {
+		r := 0.0
+		for i := 1; i <= m; i++ {
+			r = math.Max(r, in.Dist(0, i))
+		}
+		return r
+	}
+	return geom.Diameter(in.SinkLoc[1:]) / 2
+}
+
+// Bounds holds the per-sink delay window [L[i], U[i]], indexed by sink id
+// (entry 0 unused). Use math.Inf(1) for an unbounded upper limit.
+type Bounds struct {
+	L, U []float64
+}
+
+// UniformBounds gives every one of the m sinks the same window [l, u].
+func UniformBounds(m int, l, u float64) Bounds {
+	b := Bounds{L: make([]float64, m+1), U: make([]float64, m+1)}
+	for i := 1; i <= m; i++ {
+		b.L[i] = l
+		b.U[i] = u
+	}
+	return b
+}
+
+// SkewWindow returns the uniform window [u−skew, u]: the tolerable-skew
+// clock routing bounds of §6 with delay cap u.
+func SkewWindow(m int, skew, u float64) Bounds {
+	return UniformBounds(m, u-skew, u)
+}
+
+// Validate checks Eq. (2)–(4): 0 ≤ l_i ≤ u_i, and u_i at least
+// dist(s0,s_i) (source given) or at least the radius (source free). These
+// are the paper's necessary conditions; definite infeasibility beyond them
+// is detected by the LP itself.
+func (b Bounds) Validate(in *Instance) error {
+	m := in.Tree.NumSinks
+	if len(b.L) != m+1 || len(b.U) != m+1 {
+		return fmt.Errorf("core: bounds sized %d/%d for %d sinks", len(b.L), len(b.U), m)
+	}
+	var radius float64
+	if in.Source == nil {
+		radius = in.Radius()
+	}
+	const slack = 1e-9
+	for i := 1; i <= m; i++ {
+		l, u := b.L[i], b.U[i]
+		if l < 0 || l > u {
+			return fmt.Errorf("core: sink %d has invalid window [%g, %g]", i, l, u)
+		}
+		if in.Source != nil {
+			if d := in.Dist(0, i); u < d-slack-1e-9*d {
+				return fmt.Errorf("core: sink %d upper bound %g below source distance %g (Eq. 3)", i, u, d)
+			}
+		} else if u < radius-slack-1e-9*radius {
+			return fmt.Errorf("core: sink %d upper bound %g below radius %g (Eq. 4)", i, u, radius)
+		}
+	}
+	return nil
+}
+
+// Equal reports whether every sink has a degenerate window l = u (the
+// zero-skew case, which EBF states with equality rows, §4.6).
+func (b Bounds) Equal() bool {
+	for i := 1; i < len(b.L); i++ {
+		if b.L[i] != b.U[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lubt/internal/topology"
+)
+
+// chain builds source → steiner → sink: 0 ── 2 ── 1.
+func chain(t *testing.T) *topology.Tree {
+	t.Helper()
+	return topology.MustNew([]int{-1, 2, 0}, 1)
+}
+
+// twoSinks builds 0 ── {1, 2} (root with two sink children).
+func twoSinks(t *testing.T) *topology.Tree {
+	t.Helper()
+	return topology.MustNew([]int{-1, 0, 0}, 2)
+}
+
+func TestLinearMatchesTopologyDelays(t *testing.T) {
+	tr := twoSinks(t)
+	e := []float64{0, 3, 5}
+	d := Linear(tr, e)
+	if d[1] != 3 || d[2] != 5 || d[0] != 0 {
+		t.Errorf("Linear = %v", d)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := twoSinks(t)
+	s := Stats(tr, []float64{0, 3, 5})
+	if s.Min != 3 || s.Max != 5 || s.Skew != 2 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestElmoreSingleWire(t *testing.T) {
+	// One wire of length L from source to sink with load c_L:
+	// delay = r_w L (c_w L / 2 + c_L).
+	tr := topology.MustNew([]int{-1, 0}, 1)
+	m := Elmore{Rw: 2, Cw: 3, SinkCap: []float64{0, 7}}
+	e := []float64{0, 5}
+	d := m.Delays(tr, e)
+	want := 2.0 * 5 * (3.0*5/2 + 7)
+	if math.Abs(d[1]-want) > 1e-12 {
+		t.Errorf("delay = %g, want %g", d[1], want)
+	}
+}
+
+func TestElmoreChain(t *testing.T) {
+	// 0 ──e2── 2 ──e1── 1. C at node 2 = c_w e1 + cap(1); C at node 1 = cap(1).
+	tr := chain(t)
+	m := Elmore{Rw: 1, Cw: 1, SinkCap: []float64{0, 2}}
+	e := []float64{0, 3, 4}
+	c := m.SubtreeCaps(tr, e)
+	if math.Abs(c[1]-2) > 1e-12 || math.Abs(c[2]-(3+2)) > 1e-12 {
+		t.Fatalf("caps = %v", c)
+	}
+	d := m.Delays(tr, e)
+	want2 := 4.0 * (4.0/2 + 5)   // edge e2
+	want1 := want2 + 3*(3.0/2+2) // plus edge e1
+	if math.Abs(d[2]-want2) > 1e-12 || math.Abs(d[1]-want1) > 1e-12 {
+		t.Errorf("delays = %v, want d2=%g d1=%g", d, want2, want1)
+	}
+}
+
+func TestElmoreBranchingLoads(t *testing.T) {
+	// Root edge sees the capacitance of both branches.
+	//      0
+	//      |
+	//      3      (e3)
+	//     / \
+	//    1   2    (e1, e2)
+	tr := topology.MustNew([]int{-1, 3, 3, 0}, 2)
+	m := Elmore{Rw: 1, Cw: 2, SinkCap: []float64{0, 1, 1}}
+	e := []float64{0, 2, 2, 1}
+	c := m.SubtreeCaps(tr, e)
+	wantC3 := 2*2.0 + 1 + 2*2.0 + 1 // both wire caps + both sink loads
+	if math.Abs(c[3]-wantC3) > 1e-12 {
+		t.Fatalf("C3 = %g, want %g", c[3], wantC3)
+	}
+	d := m.Delays(tr, e)
+	if math.Abs(d[1]-d[2]) > 1e-12 {
+		t.Error("symmetric branches must have equal delay")
+	}
+}
+
+func TestElmoreZeroLengths(t *testing.T) {
+	tr := twoSinks(t)
+	m := Elmore{Rw: 1, Cw: 1}
+	d := m.Delays(tr, []float64{0, 0, 0})
+	if d[1] != 0 || d[2] != 0 {
+		t.Errorf("zero-length delays = %v", d)
+	}
+}
+
+// Gradient must match finite differences on random trees.
+func TestElmoreGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		mSinks := 2 + rng.Intn(8)
+		tr, err := topology.RandomBinary(rng, mSinks, rng.Intn(2) == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := make([]float64, mSinks+1)
+		for i := 1; i <= mSinks; i++ {
+			caps[i] = rng.Float64() * 3
+		}
+		m := Elmore{Rw: 0.5 + rng.Float64(), Cw: 0.5 + rng.Float64(), SinkCap: caps}
+		e := make([]float64, tr.N())
+		for i := 1; i < tr.N(); i++ {
+			e[i] = rng.Float64()*5 + 0.1
+		}
+		sink := 1 + rng.Intn(mSinks)
+		g := m.Gradient(tr, e, sink)
+		const h = 1e-6
+		for x := 1; x < tr.N(); x++ {
+			ep := append([]float64(nil), e...)
+			ep[x] += h
+			em := append([]float64(nil), e...)
+			em[x] -= h
+			fd := (m.Delays(tr, ep)[sink] - m.Delays(tr, em)[sink]) / (2 * h)
+			if math.Abs(fd-g[x]) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("trial %d sink %d edge %d: grad %g, fd %g", trial, sink, x, g[x], fd)
+			}
+		}
+	}
+}
+
+func TestElmoreGradientPanicsOnNonSink(t *testing.T) {
+	tr := chain(t)
+	m := Elmore{Rw: 1, Cw: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	m.Gradient(tr, make([]float64, tr.N()), 2) // node 2 is a Steiner point
+}
+
+func TestElmoreNilSinkCap(t *testing.T) {
+	tr := twoSinks(t)
+	m := Elmore{Rw: 1, Cw: 1}
+	d := m.Delays(tr, []float64{0, 1, 1})
+	if d[1] != 0.5 || d[2] != 0.5 { // r·e·(c·e/2) with no load
+		t.Errorf("delays = %v", d)
+	}
+}
+
+// Monotonicity: under Elmore, lengthening any edge cannot decrease any
+// sink delay.
+func TestElmoreMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 30; trial++ {
+		mSinks := 2 + rng.Intn(6)
+		tr, err := topology.RandomBinary(rng, mSinks, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Elmore{Rw: 1, Cw: 1}
+		e := make([]float64, tr.N())
+		for i := 1; i < tr.N(); i++ {
+			e[i] = rng.Float64() * 4
+		}
+		base := m.Delays(tr, e)
+		x := 1 + rng.Intn(tr.N()-1)
+		e[x] += 1
+		bumped := m.Delays(tr, e)
+		for i := 1; i <= mSinks; i++ {
+			if bumped[i] < base[i]-1e-12 {
+				t.Fatalf("delay of sink %d decreased after lengthening edge %d", i, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package delay
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"lubt/internal/topology"
+)
+
+// quickInstance bundles a random tree, model and edge lengths for
+// testing/quick.
+type quickInstance struct {
+	tree *topology.Tree
+	mdl  Elmore
+	e    []float64
+}
+
+// Generate implements quick.Generator.
+func (quickInstance) Generate(r *rand.Rand, size int) reflect.Value {
+	m := 2 + r.Intn(8)
+	tree, err := topology.RandomBinary(r, m, r.Intn(2) == 0)
+	if err != nil {
+		panic(err)
+	}
+	caps := make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		caps[i] = r.Float64() * 5
+	}
+	e := make([]float64, tree.N())
+	for i := 1; i < tree.N(); i++ {
+		e[i] = r.Float64() * 10
+	}
+	return reflect.ValueOf(quickInstance{
+		tree: tree,
+		mdl:  Elmore{Rw: 0.1 + r.Float64(), Cw: 0.1 + r.Float64(), SinkCap: caps},
+		e:    e,
+	})
+}
+
+// Elmore delay dominates: every sink's Elmore delay is at least
+// r_w·(linear path length)·(its own load)/… — specifically it is
+// non-negative and non-decreasing along every root path.
+func TestQuickElmoreMonotoneAlongPaths(t *testing.T) {
+	f := func(qi quickInstance) bool {
+		d := qi.mdl.Delays(qi.tree, qi.e)
+		for i := 1; i < qi.tree.N(); i++ {
+			if d[i] < d[qi.tree.Parent[i]]-1e-12 {
+				return false
+			}
+		}
+		return d[0] == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Superposition of loads: adding sink capacitance anywhere cannot decrease
+// any delay.
+func TestQuickElmoreLoadMonotone(t *testing.T) {
+	f := func(qi quickInstance, which uint8, extraRaw uint8) bool {
+		m := qi.tree.NumSinks
+		sink := 1 + int(which)%m
+		extra := float64(extraRaw) / 8
+		before := qi.mdl.Delays(qi.tree, qi.e)
+		heavier := qi.mdl
+		heavier.SinkCap = append([]float64(nil), qi.mdl.SinkCap...)
+		heavier.SinkCap[sink] += extra
+		after := heavier.Delays(qi.tree, qi.e)
+		for i := 1; i <= m; i++ {
+			if after[i] < before[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The gradient is non-negative everywhere (the Elmore delay is monotone
+// in every edge length).
+func TestQuickElmoreGradientNonNegative(t *testing.T) {
+	f := func(qi quickInstance, which uint8) bool {
+		sink := 1 + int(which)%qi.tree.NumSinks
+		g := qi.mdl.Gradient(qi.tree, qi.e, sink)
+		for x := 1; x < qi.tree.N(); x++ {
+			if g[x] < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Linear and Elmore agree on the zero-length tree (both all-zero).
+func TestQuickZeroTree(t *testing.T) {
+	f := func(qi quickInstance) bool {
+		zero := make([]float64, qi.tree.N())
+		for _, d := range qi.mdl.Delays(qi.tree, zero) {
+			if d != 0 {
+				return false
+			}
+		}
+		for _, d := range Linear(qi.tree, zero) {
+			if d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Stats must bracket every sink delay.
+func TestQuickStatsBracket(t *testing.T) {
+	f := func(qi quickInstance) bool {
+		d := qi.mdl.Delays(qi.tree, qi.e)
+		s := Stats(qi.tree, d)
+		for i := 1; i <= qi.tree.NumSinks; i++ {
+			if d[i] < s.Min-1e-12 || d[i] > s.Max+1e-12 {
+				return false
+			}
+		}
+		return math.Abs(s.Skew-(s.Max-s.Min)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

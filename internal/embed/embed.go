@@ -1,0 +1,236 @@
+// Package embed places the Steiner points of a LUBT once the edge lengths
+// are known — the revised DME procedure of §5 of the paper: a bottom-up
+// pass builds the feasible region (a TRR) of every node from its
+// children's expanded regions, then a top-down pass picks concrete
+// locations. Theorem 4.1 guarantees the regions are non-empty whenever the
+// edge lengths satisfy the Steiner constraints; this package is the
+// constructive half of that proof, and its property tests exercise it.
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lubt/internal/geom"
+	"lubt/internal/topology"
+)
+
+// Policy selects where inside a feasible intersection each node is placed.
+type Policy int
+
+// Placement policies.
+const (
+	// Nearest places each node at the feasible point closest to its
+	// already-placed parent, minimizing physical detour (the default).
+	Nearest Policy = iota
+	// Center places each node at the center of its feasible intersection.
+	Center
+)
+
+// Options tune Place.
+type Options struct {
+	Policy Policy
+	// Tol absorbs LP rounding: every region is inflated by Tol before
+	// intersection tests. 0 means 1e-6·(1+scale of the instance).
+	Tol float64
+}
+
+// Placement is an embedded tree.
+type Placement struct {
+	// Loc is the location of every node.
+	Loc []geom.Point
+	// FR is the bottom-up feasible region of every node (diagnostics; the
+	// regions of sinks are their locations).
+	FR []geom.TRR
+	// Elongation[k] = e_k − dist(s_k, parent) ≥ 0 is the wire snaking on
+	// edge k (§2: an edge with positive elongation is "elongated").
+	Elongation []float64
+}
+
+// ErrNoEmbedding reports that the bottom-up regions became empty — the
+// edge lengths violate a Steiner constraint (Theorem 4.1 in
+// contrapositive).
+var ErrNoEmbedding = errors.New("embed: edge lengths admit no placement")
+
+// Place embeds the tree. sinkLoc is indexed by sink id (entry 0 unused);
+// source is the fixed root location or nil; e is indexed by edge (child
+// node).
+func Place(t *topology.Tree, sinkLoc []geom.Point, source *geom.Point, e []float64, opt *Options) (*Placement, error) {
+	if len(sinkLoc) != t.NumSinks+1 {
+		return nil, fmt.Errorf("embed: %d sink locations for %d sinks", len(sinkLoc)-1, t.NumSinks)
+	}
+	if len(e) < t.N() {
+		return nil, fmt.Errorf("embed: %d edge lengths for %d nodes", len(e), t.N())
+	}
+	scale := 1.0
+	for i := 1; i <= t.NumSinks; i++ {
+		scale = math.Max(scale, math.Abs(sinkLoc[i].X)+math.Abs(sinkLoc[i].Y))
+	}
+	for k := 1; k < t.N(); k++ {
+		if e[k] < 0 {
+			if e[k] < -1e-6*scale {
+				return nil, fmt.Errorf("embed: edge %d has negative length %g", k, e[k])
+			}
+			e = clampNonNegative(e, t.N())
+			break
+		}
+	}
+	tol := 1e-6 * scale
+	if opt != nil && opt.Tol > 0 {
+		tol = opt.Tol
+	}
+	policy := Nearest
+	if opt != nil {
+		policy = opt.Policy
+	}
+
+	n := t.N()
+	fr := make([]geom.TRR, n)
+	trr := make([]geom.TRR, n) // TRR_k = Expand(FR_k, e_k)
+	for _, k := range t.Postorder() {
+		if t.IsSink(k) {
+			fr[k] = geom.PointTRR(sinkLoc[k])
+		} else {
+			ch := t.Children(k)
+			switch len(ch) {
+			case 0:
+				return nil, fmt.Errorf("embed: Steiner node %d is a leaf", k)
+			case 1:
+				fr[k] = trr[ch[0]]
+			case 2:
+				fr[k] = trr[ch[0]].Intersect(trr[ch[1]])
+				if fr[k].Empty() {
+					// Absorb LP rounding: retry with inflated children.
+					fr[k] = trr[ch[0]].Expand(tol).Intersect(trr[ch[1]].Expand(tol))
+				}
+			default:
+				return nil, fmt.Errorf("embed: node %d has %d children; run SplitHighDegree first", k, len(ch))
+			}
+			if fr[k].Empty() {
+				return nil, fmt.Errorf("%w: feasible region of node %d is empty", ErrNoEmbedding, k)
+			}
+		}
+		if k != 0 {
+			trr[k] = fr[k].Expand(e[k])
+		}
+	}
+
+	loc := make([]geom.Point, n)
+	if source != nil {
+		if fr[0].DistPoint(*source) > tol {
+			return nil, fmt.Errorf("%w: source %v lies %g outside the root feasible region %v",
+				ErrNoEmbedding, *source, fr[0].DistPoint(*source), fr[0])
+		}
+		loc[0] = *source
+	} else {
+		loc[0] = fr[0].Center()
+	}
+	for _, k := range t.Preorder() {
+		if k == 0 {
+			continue
+		}
+		p := loc[t.Parent[k]]
+		region := fr[k].Intersect(geom.Diamond(p, e[k]))
+		if region.Empty() {
+			// Absorb LP rounding before giving up.
+			region = fr[k].Expand(tol).Intersect(geom.Diamond(p, e[k]+tol))
+		}
+		if region.Empty() {
+			return nil, fmt.Errorf("%w: node %d has no feasible point within %g of its parent",
+				ErrNoEmbedding, k, e[k])
+		}
+		switch policy {
+		case Center:
+			loc[k] = region.Center()
+		default:
+			loc[k] = region.ClosestPointTo(p)
+		}
+	}
+
+	elong := make([]float64, n)
+	for k := 1; k < n; k++ {
+		elong[k] = e[k] - geom.Dist(loc[k], loc[t.Parent[k]])
+		if elong[k] < 0 && elong[k] > -2*tol {
+			elong[k] = 0
+		}
+	}
+	pl := &Placement{Loc: loc, FR: fr, Elongation: elong}
+	if err := VerifyPlacement(t, sinkLoc, source, e, pl, 4*tol); err != nil {
+		return nil, err
+	}
+	return pl, nil
+}
+
+func clampNonNegative(e []float64, n int) []float64 {
+	out := make([]float64, n)
+	for k := 0; k < n && k < len(e); k++ {
+		out[k] = math.Max(0, e[k])
+	}
+	return out
+}
+
+// VerifyPlacement checks that a placement realizes the edge lengths: every
+// edge's endpoints are within e_k of each other (Eq. 7), sinks sit at
+// their given locations, and the source (when fixed) at its.
+func VerifyPlacement(t *topology.Tree, sinkLoc []geom.Point, source *geom.Point, e []float64, p *Placement, tol float64) error {
+	for i := 1; i <= t.NumSinks; i++ {
+		if geom.Dist(p.Loc[i], sinkLoc[i]) > tol {
+			return fmt.Errorf("embed: sink %d placed at %v, given %v", i, p.Loc[i], sinkLoc[i])
+		}
+	}
+	if source != nil && geom.Dist(p.Loc[0], *source) > tol {
+		return fmt.Errorf("embed: source placed at %v, given %v", p.Loc[0], *source)
+	}
+	for k := 1; k < t.N(); k++ {
+		d := geom.Dist(p.Loc[k], p.Loc[t.Parent[k]])
+		if d > e[k]+tol {
+			return fmt.Errorf("embed: edge %d spans %g > length %g", k, d, e[k])
+		}
+	}
+	return nil
+}
+
+// Routes returns one rectilinear polyline per edge (indexed by edge)
+// whose total length is exactly e_k. A tight edge becomes an L-shaped
+// route; an elongated edge prefixes an out-and-back snaking spur of half
+// the elongation (the standard wire-snaking abstraction — the detailed
+// serpentine pattern is a layout concern below this library's level).
+// Entry 0 is nil.
+func Routes(t *topology.Tree, p *Placement, e []float64) [][]geom.Point {
+	routes := make([][]geom.Point, t.N())
+	for k := 1; k < t.N(); k++ {
+		c := p.Loc[k]
+		par := p.Loc[t.Parent[k]]
+		var pts []geom.Point
+		extra := e[k] - geom.Dist(c, par)
+		if extra < 0 {
+			extra = 0
+		}
+		pts = append(pts, c)
+		if extra > 0 {
+			spur := c.Add(0, extra/2)
+			pts = append(pts, spur, c)
+		}
+		if c.X != par.X {
+			pts = append(pts, geom.Pt(par.X, c.Y))
+		}
+		if c.Y != par.Y || len(pts) == 1 {
+			pts = append(pts, par)
+		}
+		if last := pts[len(pts)-1]; !last.Eq(par) {
+			pts = append(pts, par)
+		}
+		routes[k] = pts
+	}
+	return routes
+}
+
+// PolylineLength measures a rectilinear polyline in Manhattan length.
+func PolylineLength(pts []geom.Point) float64 {
+	var s float64
+	for i := 1; i < len(pts); i++ {
+		s += geom.Dist(pts[i-1], pts[i])
+	}
+	return s
+}

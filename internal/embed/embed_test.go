@@ -1,0 +1,335 @@
+package embed
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lubt/internal/core"
+	"lubt/internal/geom"
+	"lubt/internal/topology"
+)
+
+// randomRealizableLengths places Steiner nodes at random locations and
+// derives edge lengths as distance-plus-random-elongation. Such lengths
+// satisfy every Steiner constraint by the triangle inequality, so
+// Theorem 4.1 promises Place succeeds on them.
+func randomRealizableLengths(rng *rand.Rand, t *topology.Tree, sinkLoc []geom.Point, source *geom.Point) []float64 {
+	n := t.N()
+	loc := make([]geom.Point, n)
+	for i := 1; i <= t.NumSinks; i++ {
+		loc[i] = sinkLoc[i]
+	}
+	if source != nil {
+		loc[0] = *source
+	} else {
+		loc[0] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	for k := t.NumSinks + 1; k < n; k++ {
+		loc[k] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	e := make([]float64, n)
+	for k := 1; k < n; k++ {
+		e[k] = geom.Dist(loc[k], loc[t.Parent[k]])
+		if rng.Intn(3) == 0 {
+			e[k] += rng.Float64() * 20 // elongation
+		}
+	}
+	return e
+}
+
+func randomSinks(rng *rand.Rand, m int) []geom.Point {
+	locs := make([]geom.Point, m+1)
+	for i := 1; i <= m; i++ {
+		locs[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return locs
+}
+
+func TestTheorem41RandomRealizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 150; trial++ {
+		m := 2 + rng.Intn(15)
+		withSource := rng.Intn(2) == 0
+		tree, err := topology.RandomBinary(rng, m, withSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinkLoc := randomSinks(rng, m)
+		var source *geom.Point
+		if withSource {
+			s := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+			source = &s
+		}
+		e := randomRealizableLengths(rng, tree, sinkLoc, source)
+		pl, err := Place(tree, sinkLoc, source, e, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := VerifyPlacement(tree, sinkLoc, source, e, pl, 1e-6); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// The full pipeline property: LP-optimal edge lengths from the EBF always
+// embed — the paper's central claim (LP solution ⇒ Theorem 4.1 ⇒ DME
+// placement).
+func TestTheorem41WithLPSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(12)
+		withSource := rng.Intn(2) == 0
+		tree, err := topology.RandomBinary(rng, m, withSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := &core.Instance{Tree: tree, SinkLoc: randomSinks(rng, m)}
+		if withSource {
+			s := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+			in.Source = &s
+		}
+		r := in.Radius()
+		u := r * (1 + rng.Float64())
+		l := u * rng.Float64()
+		res, err := core.Solve(in, core.UniformBounds(m, l, u), nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pl, err := Place(tree, in.SinkLoc, in.Source, res.E, nil)
+		if err != nil {
+			t.Fatalf("trial %d: LP solution failed to embed: %v", trial, err)
+		}
+		// The realized tree's delays must equal the LP delays: every edge
+		// contributes its full e_k (elongation included).
+		for k := 1; k < tree.N(); k++ {
+			if pl.Elongation[k] < -1e-6 {
+				t.Fatalf("trial %d: edge %d over-stretched by %g", trial, k, -pl.Elongation[k])
+			}
+		}
+	}
+}
+
+func TestPlaceCenterPolicy(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	m := 6
+	tree, err := topology.RandomBinary(rng, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkLoc := randomSinks(rng, m)
+	e := randomRealizableLengths(rng, tree, sinkLoc, nil)
+	for _, pol := range []Policy{Nearest, Center} {
+		pl, err := Place(tree, sinkLoc, nil, e, &Options{Policy: pol})
+		if err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+		if err := VerifyPlacement(tree, sinkLoc, nil, e, pl, 1e-6); err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+	}
+}
+
+func TestPlaceDetectsInfeasibleLengths(t *testing.T) {
+	// Two sinks 10 apart under a root, with e1+e2 = 4 < 10: the feasible
+	// region of the root must be empty.
+	tree := topology.MustNew([]int{-1, 0, 0}, 2)
+	sinkLoc := []geom.Point{{}, geom.Pt(0, 0), geom.Pt(10, 0)}
+	e := []float64{0, 2, 2}
+	_, err := Place(tree, sinkLoc, nil, e, nil)
+	if !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestPlaceDetectsUnreachableSource(t *testing.T) {
+	tree := topology.MustNew([]int{-1, 2, 0}, 1) // source → steiner → sink
+	src := geom.Pt(0, 0)
+	sinkLoc := []geom.Point{{}, geom.Pt(10, 0)}
+	// e sums to 4 < dist(source, sink) = 10.
+	_, err := Place(tree, sinkLoc, &src, []float64{0, 2, 2}, nil)
+	if !errors.Is(err, ErrNoEmbedding) {
+		t.Fatalf("err = %v, want ErrNoEmbedding", err)
+	}
+}
+
+func TestPlaceDegenerateEdges(t *testing.T) {
+	// Zero-length edges collapse nodes onto the same location (§2
+	// "degenerate").
+	tree := topology.MustNew([]int{-1, 2, 0}, 1)
+	src := geom.Pt(5, 5)
+	sinkLoc := []geom.Point{{}, geom.Pt(5, 5)}
+	pl, err := Place(tree, sinkLoc, &src, []float64{0, 0, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Loc[2].Eq(src) || !pl.Loc[1].Eq(src) {
+		t.Fatalf("degenerate tree not collapsed: %v", pl.Loc)
+	}
+}
+
+func TestPlaceValidatesInput(t *testing.T) {
+	tree := topology.MustNew([]int{-1, 0, 0}, 2)
+	sinkLoc := []geom.Point{{}, geom.Pt(0, 0), geom.Pt(1, 0)}
+	if _, err := Place(tree, sinkLoc[:2], nil, []float64{0, 1, 1}, nil); err == nil {
+		t.Error("short sink slice accepted")
+	}
+	if _, err := Place(tree, sinkLoc, nil, []float64{0}, nil); err == nil {
+		t.Error("short edge slice accepted")
+	}
+	if _, err := Place(tree, sinkLoc, nil, []float64{0, -5, 1}, nil); err == nil {
+		t.Error("negative edge accepted")
+	}
+	// Tiny LP-noise negatives are clamped, not rejected.
+	if _, err := Place(tree, sinkLoc, nil, []float64{0, -1e-12, 1}, nil); err != nil {
+		t.Errorf("LP-noise negative rejected: %v", err)
+	}
+}
+
+func TestPlaceRejectsHighDegree(t *testing.T) {
+	star, err := topology.Star(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkLoc := []geom.Point{{}, geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(1, 1)}
+	if _, err := Place(star, sinkLoc, nil, []float64{0, 1, 1, 1, 1}, nil); err == nil {
+		t.Error("degree-4 node accepted; SplitHighDegree should be required")
+	}
+	split, err := star.SplitHighDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := make([]float64, split.N())
+	for i := 1; i <= 4; i++ {
+		e[i] = 2
+	}
+	if _, err := Place(split, sinkLoc, nil, e, nil); err != nil {
+		t.Errorf("split star failed to embed: %v", err)
+	}
+}
+
+func TestElongationAccounting(t *testing.T) {
+	// Sink at distance 3 from the fixed source, edge length 7: elongation 4.
+	tree := topology.MustNew([]int{-1, 0}, 1)
+	src := geom.Pt(0, 0)
+	sinkLoc := []geom.Point{{}, geom.Pt(3, 0)}
+	pl, err := Place(tree, sinkLoc, &src, []float64{0, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pl.Elongation[1]-4) > 1e-6 {
+		t.Fatalf("elongation = %g, want 4", pl.Elongation[1])
+	}
+}
+
+func TestRoutesRealizeExactLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(10)
+		tree, err := topology.RandomBinary(rng, m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinkLoc := randomSinks(rng, m)
+		e := randomRealizableLengths(rng, tree, sinkLoc, nil)
+		pl, err := Place(tree, sinkLoc, nil, e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routes := Routes(tree, pl, e)
+		for k := 1; k < tree.N(); k++ {
+			got := PolylineLength(routes[k])
+			if math.Abs(got-e[k]) > 1e-5*(1+e[k]) {
+				t.Fatalf("trial %d edge %d: route length %g, want %g", trial, k, got, e[k])
+			}
+			if !routes[k][0].Eq(pl.Loc[k]) || !routes[k][len(routes[k])-1].Eq(pl.Loc[tree.Parent[k]]) {
+				t.Fatalf("trial %d edge %d: route endpoints wrong", trial, k)
+			}
+		}
+	}
+}
+
+// §4.7: the EBF guarantees break down in the Euclidean metric. For the
+// unit equilateral triangle, e1=e2=e3=1/2 satisfies every pairwise-sum
+// constraint, yet no point of the plane is within Euclidean distance 1/2
+// of all three corners (the circumradius is 1/√3 ≈ 0.577). In Manhattan
+// metric the analogous configuration embeds fine.
+func TestEuclideanCounterexample(t *testing.T) {
+	tri := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, math.Sqrt(3)/2)}
+	// Pairwise Euclidean distances are all 1, so e=1/2 satisfies e_i+e_j ≥ 1.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if math.Abs(geom.EuclidDist(tri[i], tri[j])-1) > 1e-9 {
+				t.Fatal("test bug: triangle not unit equilateral")
+			}
+		}
+	}
+	// Dense grid search: no Euclidean embedding point exists.
+	found := false
+	for x := -0.5; x <= 1.5; x += 0.01 {
+		for y := -0.5; y <= 1.5; y += 0.01 {
+			p := geom.Pt(x, y)
+			ok := true
+			for _, c := range tri {
+				if geom.EuclidDist(p, c) > 0.5+1e-9 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+			}
+		}
+	}
+	if found {
+		t.Fatal("Euclidean embedding exists; counterexample broken")
+	}
+	// Manhattan analog: three sinks pairwise Manhattan distance 1; the
+	// same edge lengths 1/2 DO embed (Helly property of diamonds).
+	sinks := []geom.Point{{}, geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0.5, 0.5)}
+	star, err := topology.Star(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := star.SplitHighDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := make([]float64, tree.N())
+	e[1], e[2], e[3] = 0.5, 0.5, 0.5
+	if _, err := Place(tree, sinks, nil, e, nil); err != nil {
+		t.Fatalf("Manhattan analog failed to embed: %v", err)
+	}
+}
+
+func TestVerifyPlacementDetectsCorruption(t *testing.T) {
+	tree := topology.MustNew([]int{-1, 2, 0}, 1)
+	src := geom.Pt(0, 0)
+	sinkLoc := []geom.Point{{}, geom.Pt(4, 0)}
+	e := []float64{0, 2, 2}
+	pl, err := Place(tree, sinkLoc, &src, e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt each invariant in turn.
+	bad := *pl
+	bad.Loc = append([]geom.Point(nil), pl.Loc...)
+	bad.Loc[1] = geom.Pt(9, 9) // sink moved
+	if VerifyPlacement(tree, sinkLoc, &src, e, &bad, 1e-6) == nil {
+		t.Error("moved sink accepted")
+	}
+	bad.Loc = append([]geom.Point(nil), pl.Loc...)
+	bad.Loc[0] = geom.Pt(1, 1) // source moved
+	if VerifyPlacement(tree, sinkLoc, &src, e, &bad, 1e-6) == nil {
+		t.Error("moved source accepted")
+	}
+	bad.Loc = append([]geom.Point(nil), pl.Loc...)
+	bad.Loc[2] = geom.Pt(50, 0) // edge over-stretched
+	if VerifyPlacement(tree, sinkLoc, &src, e, &bad, 1e-6) == nil {
+		t.Error("over-stretched edge accepted")
+	}
+	if VerifyPlacement(tree, sinkLoc, &src, e, pl, 1e-6) != nil {
+		t.Error("valid placement rejected")
+	}
+}

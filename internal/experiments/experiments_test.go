@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// A single small benchmark keeps the experiment tests quick; the full
+// grids run in cmd/lubtbench and bench_test.go.
+var testBenches = []string{"prim1-s"}
+
+func TestTable1ShapeProperties(t *testing.T) {
+	rows, err := Table1(testBenches, []float64{0, 0.5, 2, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Optimality: LUBT never worse than the baseline on the same
+		// topology with the window the skew bound entitles it to.
+		if r.LubtCost > r.BaseCost*(1+1e-9)+1e-6 {
+			t.Errorf("%s skew %g: LUBT %g > baseline %g", r.Bench, r.SkewBound, r.LubtCost, r.BaseCost)
+		}
+		// The realized spread respects the skew bound.
+		if !math.IsInf(r.SkewBound, 1) && r.Longest-r.Shortest > r.SkewBound+1e-6 {
+			t.Errorf("%s skew %g: spread %g", r.Bench, r.SkewBound, r.Longest-r.Shortest)
+		}
+	}
+	// Costs fall as the bound loosens (per bench the list is ordered).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Bench == rows[i-1].Bench && rows[i].LubtCost > rows[i-1].LubtCost*(1+1e-6) {
+			t.Errorf("cost not monotone: skew %g cost %g vs skew %g cost %g",
+				rows[i-1].SkewBound, rows[i-1].LubtCost, rows[i].SkewBound, rows[i].LubtCost)
+		}
+	}
+	var buf bytes.Buffer
+	RenderTable1(rows).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestTable2ShapeProperties(t *testing.T) {
+	rows, err := Table2(testBenches, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 || len(rows) > len(table2Shifts) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	starred := 0
+	for _, r := range rows {
+		if r.Starred {
+			starred++
+		}
+		if r.Upper-r.Lower > 0.5+1e-9 {
+			t.Errorf("window [%g,%g] wider than skew bound", r.Lower, r.Upper)
+		}
+		if r.Cost <= 0 {
+			t.Errorf("non-positive cost %g", r.Cost)
+		}
+	}
+	if starred != 1 {
+		t.Errorf("%d starred rows", starred)
+	}
+	// The paper's point: sliding the window changes cost only mildly.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range rows {
+		lo = math.Min(lo, r.Cost)
+		hi = math.Max(hi, r.Cost)
+	}
+	if hi > 2*lo {
+		t.Errorf("window shifts doubled the cost: [%g, %g]", lo, hi)
+	}
+	var buf bytes.Buffer
+	RenderTable2(rows).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestTable3ShapeProperties(t *testing.T) {
+	rows, err := Table3(testBenches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(windows3) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// The [0.99,1] row is the most constrained and [0,2] the least; cost
+	// must drop across that span (the paper's headline trend).
+	if rows[len(rows)-1].Cost >= rows[0].Cost {
+		t.Errorf("loosest window cost %g not below tightest %g",
+			rows[len(rows)-1].Cost, rows[0].Cost)
+	}
+	var buf bytes.Buffer
+	RenderTable3(rows).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	rows, err := Figure8("prim2-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d points", len(rows))
+	}
+	// For a fixed upper bound, widening the window can only reduce cost.
+	byUpper := map[float64][]FigRow{}
+	for _, r := range rows {
+		byUpper[r.Upper] = append(byUpper[r.Upper], r)
+	}
+	for u, series := range byUpper {
+		for i := 1; i < len(series); i++ {
+			// Series generated in increasing width order.
+			if series[i].Cost > series[i-1].Cost*(1+1e-6) {
+				t.Errorf("u=%g: widening [%g → %g] raised cost %g → %g", u,
+					series[i-1].Lower, series[i].Lower, series[i-1].Cost, series[i].Cost)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure8(rows, "prim2-s").Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestTableBenches(t *testing.T) {
+	if got := TableBenches(false); got[0] != "prim1-s" || len(got) != 4 {
+		t.Errorf("scaled names: %v", got)
+	}
+	if got := TableBenches(true); got[0] != "prim1" || len(got) != 4 {
+		t.Errorf("full names: %v", got)
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Table1([]string{"bogus"}, []float64{0}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,315 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randOctagon(rng *rand.Rand, span float64) Octagon {
+	// Random rectangle intersected with a random diamond that overlaps it,
+	// retried until non-empty.
+	for {
+		x := rng.Float64()*span - span/2
+		y := rng.Float64()*span - span/2
+		w := rng.Float64() * span / 3
+		h := rng.Float64() * span / 3
+		rect := OctFromRect(x, y, x+w, y+h)
+		c := Pt(x+rng.Float64()*w, y+rng.Float64()*h)
+		d := OctFromTRR(Diamond(c, rng.Float64()*span/3))
+		o := rect.Intersect(d)
+		if !o.Empty() {
+			return o
+		}
+	}
+}
+
+// randPointInOct rejection-samples a point from a bounded octagon.
+func randPointInOct(rng *rand.Rand, o Octagon) Point {
+	for i := 0; i < 10000; i++ {
+		p := Pt(o.XLo+rng.Float64()*(o.XHi-o.XLo), o.YLo+rng.Float64()*(o.YHi-o.YLo))
+		if o.Contains(p) {
+			return p
+		}
+	}
+	return o.AnyPoint()
+}
+
+func TestOctFromPoint(t *testing.T) {
+	p := Pt(2, -3)
+	o := OctFromPoint(p)
+	if !o.Contains(p) || o.Empty() {
+		t.Fatalf("OctFromPoint broken: %v", o)
+	}
+	if o.Contains(Pt(2.1, -3)) {
+		t.Error("point octagon contains another point")
+	}
+}
+
+func TestOctFromRect(t *testing.T) {
+	o := OctFromRect(0, 0, 4, 2)
+	for _, p := range []Point{Pt(0, 0), Pt(4, 2), Pt(2, 1)} {
+		if !o.Contains(p) {
+			t.Errorf("rect octagon missing %v", p)
+		}
+	}
+	if o.Contains(Pt(5, 1)) || o.Contains(Pt(2, 3)) {
+		t.Error("rect octagon contains outside point")
+	}
+	if math.IsInf(o.ULo, 0) || math.IsInf(o.UHi, 0) {
+		t.Error("Normalize did not tighten diagonal bounds")
+	}
+}
+
+func TestOctFromTRRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		tr := randTRR(rng, 20)
+		o := OctFromTRR(tr)
+		for j := 0; j < 20; j++ {
+			p := randPointIn(rng, tr)
+			if !o.Contains(p) {
+				t.Fatalf("octagon from TRR missing point %v of %v", p, tr)
+			}
+		}
+	}
+}
+
+func TestOctNormalizeTightensSupports(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 200; i++ {
+		o := randOctagon(rng, 20)
+		// Every support value of a normalized octagon must be attained by
+		// some vertex.
+		vs := o.Vertices()
+		maxX, minX := math.Inf(-1), math.Inf(1)
+		maxU, minU := math.Inf(-1), math.Inf(1)
+		for _, p := range vs {
+			u, _ := p.UV()
+			maxX = math.Max(maxX, p.X)
+			minX = math.Min(minX, p.X)
+			maxU = math.Max(maxU, u)
+			minU = math.Min(minU, u)
+		}
+		if math.Abs(maxX-o.XHi) > 1e-6 || math.Abs(minX-o.XLo) > 1e-6 {
+			t.Fatalf("x supports not attained: [%g,%g] vs vertices [%g,%g] (%v)",
+				o.XLo, o.XHi, minX, maxX, o)
+		}
+		if math.Abs(maxU-o.UHi) > 1e-6 || math.Abs(minU-o.ULo) > 1e-6 {
+			t.Fatalf("u supports not attained: [%g,%g] vs [%g,%g]", o.ULo, o.UHi, minU, maxU)
+		}
+	}
+}
+
+func TestOctVerticesContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		o := randOctagon(rng, 25)
+		for _, v := range o.Vertices() {
+			if !o.Contains(v) {
+				t.Fatalf("vertex %v outside %v", v, o)
+			}
+		}
+	}
+}
+
+func TestOctIntersect(t *testing.T) {
+	a := OctFromRect(0, 0, 4, 4)
+	b := OctFromTRR(Diamond(Pt(4, 4), 2))
+	i := a.Intersect(b)
+	if i.Empty() {
+		t.Fatal("expected non-empty intersection")
+	}
+	if !i.Contains(Pt(3.5, 3.5)) {
+		t.Error("intersection missing (3.5,3.5)")
+	}
+	if i.Contains(Pt(1, 1)) {
+		t.Error("intersection contains point only in a")
+	}
+	far := OctFromPoint(Pt(100, 100))
+	if !a.Intersect(far).Empty() {
+		t.Error("disjoint intersection non-empty")
+	}
+}
+
+func TestOctExpandContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 200; i++ {
+		o := randOctagon(rng, 20)
+		r := rng.Float64() * 5
+		e := o.Expand(r)
+		p := randPointInOct(rng, o)
+		// Walk Manhattan distance r from p in a random axis direction.
+		q := p
+		if rng.Intn(2) == 0 {
+			q.X += r * (rng.Float64()*2 - 1)
+			q.Y += math.Copysign(r-math.Abs(q.X-p.X), rng.Float64()-0.5)
+		} else {
+			q.Y += r * (rng.Float64()*2 - 1)
+			q.X += math.Copysign(r-math.Abs(q.Y-p.Y), rng.Float64()-0.5)
+		}
+		if Dist(p, q) > r+Eps {
+			t.Fatalf("test bug: walked %g > r=%g", Dist(p, q), r)
+		}
+		if !e.Contains(q) {
+			t.Fatalf("Expand(%g) missing %v at dist %g from %v", r, q, Dist(p, q), p)
+		}
+	}
+}
+
+func TestOctExpandPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	OctFromPoint(Pt(0, 0)).Expand(-1)
+}
+
+// The octagon distance formula max(gap_x+gap_y, gap_u, gap_v) must match a
+// brute-force minimum over sampled point pairs (sampling can only
+// overestimate) and must be achieved by ClosestPointTo projections.
+func TestOctDistFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 300; trial++ {
+		a := randOctagon(rng, 20)
+		b := randOctagon(rng, 20)
+		// Shift b by a random offset to vary separation.
+		dx, dy := rng.Float64()*30-15, rng.Float64()*30-15
+		b = Octagon{
+			XLo: b.XLo + dx, XHi: b.XHi + dx, YLo: b.YLo + dy, YHi: b.YHi + dy,
+			ULo: b.ULo + dx + dy, UHi: b.UHi + dx + dy,
+			VLo: b.VLo + dx - dy, VHi: b.VHi + dx - dy,
+		}
+		d := a.Dist(b)
+		best := math.Inf(1)
+		for i := 0; i < 300; i++ {
+			p := randPointInOct(rng, a)
+			q := b.ClosestPointTo(p)
+			best = math.Min(best, Dist(p, q))
+			p2 := a.ClosestPointTo(q)
+			best = math.Min(best, Dist(p2, q))
+		}
+		if best < d-1e-6 {
+			t.Fatalf("found pair at distance %g < formula %g\na=%v\nb=%v", best, d, a, b)
+		}
+		if best > d+0.35*(d+1) && d > 0 {
+			// The projection search should come close to the formula; a
+			// large gap indicates the formula underestimates.
+			t.Logf("warning: projection search %g vs formula %g", best, d)
+		}
+	}
+}
+
+func TestOctDistKnown(t *testing.T) {
+	a := OctFromRect(0, 0, 1, 1)
+	b := OctFromRect(3, 4, 5, 6)
+	if d := a.Dist(b); math.Abs(d-5) > Eps { // gap_x=2, gap_y=3
+		t.Errorf("rect-rect dist = %g, want 5", d)
+	}
+	da := OctFromTRR(Diamond(Pt(0, 0), 1))
+	db := OctFromTRR(Diamond(Pt(10, 0), 1))
+	if d := da.Dist(db); math.Abs(d-8) > Eps {
+		t.Errorf("diamond-diamond dist = %g, want 8", d)
+	}
+}
+
+// Expansion/distance identity, the merge-region law the BST baseline uses:
+// Expand(A, ea) ∩ Expand(B, eb) ≠ ∅  ⇔  dist(A,B) ≤ ea + eb.
+func TestOctMergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 300; trial++ {
+		a := randOctagon(rng, 20)
+		b := randOctagon(rng, 20)
+		d := a.Dist(b)
+		ea := rng.Float64() * 15
+		eb := rng.Float64() * 15
+		inter := a.Expand(ea).Intersect(b.Expand(eb))
+		want := d <= ea+eb+Eps
+		if want != !inter.Empty() {
+			t.Fatalf("dist=%g ea=%g eb=%g but empty=%v", d, ea, eb, inter.Empty())
+		}
+	}
+}
+
+func TestOctClosestPointTo(t *testing.T) {
+	o := OctFromRect(0, 0, 2, 2)
+	p := Pt(5, 1)
+	c := o.ClosestPointTo(p)
+	if !o.Contains(c) || math.Abs(Dist(p, c)-3) > Eps {
+		t.Errorf("closest = %v (dist %g), want dist 3", c, Dist(p, c))
+	}
+	in := Pt(1, 1)
+	if got := o.ClosestPointTo(in); !got.Eq(in) {
+		t.Error("interior point moved")
+	}
+}
+
+func TestOctClosestPointAchievesDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		o := randOctagon(rng, 20)
+		p := Pt(rng.Float64()*60-30, rng.Float64()*60-30)
+		c := o.ClosestPointTo(p)
+		if !o.Contains(c) {
+			t.Fatalf("closest point %v outside octagon", c)
+		}
+		want := o.DistPoint(p)
+		if math.Abs(Dist(p, c)-want) > 1e-6 {
+			t.Fatalf("closest achieves %g, formula %g (o=%v p=%v)",
+				Dist(p, c), want, o, p)
+		}
+	}
+}
+
+func TestOctAnyPointInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 200; trial++ {
+		o := randOctagon(rng, 20)
+		if p := o.AnyPoint(); !o.Contains(p) {
+			t.Fatalf("AnyPoint %v outside %v", p, o)
+		}
+	}
+}
+
+func TestOctString(t *testing.T) {
+	if EmptyOctagon().String() != "Oct(empty)" {
+		t.Error("empty octagon string")
+	}
+	if OctFromPoint(Pt(0, 0)).String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestOctDistPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	EmptyOctagon().Dist(OctFromPoint(Pt(0, 0)))
+}
+
+func TestOctIntersectTRR(t *testing.T) {
+	o := OctFromRect(0, 0, 10, 10)
+	tr := Diamond(Pt(0, 0), 4)
+	i := o.IntersectTRR(tr)
+	if i.Empty() {
+		t.Fatal("expected non-empty intersection")
+	}
+	if !i.Contains(Pt(1, 1)) {
+		t.Error("missing (1,1)")
+	}
+	if i.Contains(Pt(5, 5)) {
+		t.Error("contains point outside the diamond")
+	}
+	if !o.IntersectTRR(Diamond(Pt(100, 100), 1)).Empty() {
+		t.Error("disjoint TRR intersection non-empty")
+	}
+}
+
+func TestOctFromEmptyTRR(t *testing.T) {
+	if !OctFromTRR(EmptyTRR()).Empty() {
+		t.Error("octagon from empty TRR not empty")
+	}
+}

@@ -1,0 +1,115 @@
+// Package geom implements the Manhattan-plane geometry the LUBT paper
+// builds on: points, Manhattan distance, tilted rectangular regions (TRRs,
+// §5 and §10 of the paper) and octilinear convex regions (the merge regions
+// of bounded-skew routing, used by the baseline of reference [9]).
+//
+// The central trick is the rotated coordinate system
+//
+//	u = x + y,  v = x − y
+//
+// under which Manhattan (L1) distance in the plane becomes Chebyshev (L∞)
+// distance, a diamond of radius r becomes an axis-aligned square of
+// half-side r, and every TRR becomes an axis-aligned box. All TRR
+// operations the paper needs — intersection, Minkowski expansion by a
+// radius, distance, containment — reduce to constant-time interval
+// arithmetic.
+package geom
+
+import "math"
+
+// Eps is the tolerance used for geometric comparisons throughout the
+// package. Instances are expected to have coordinates of magnitude well
+// below 1e12, so an absolute tolerance suffices.
+const Eps = 1e-7
+
+// Point is a location in the Manhattan plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Dist returns the Manhattan (L1) distance between a and b.
+func Dist(a, b Point) float64 {
+	return math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+}
+
+// EuclidDist returns the Euclidean (L2) distance between a and b. It is
+// used only by the Euclidean counterexample of §4.7.
+func EuclidDist(a, b Point) float64 {
+	return math.Hypot(a.X-b.X, a.Y-b.Y)
+}
+
+// UV returns the rotated coordinates (u, v) = (x+y, x−y) of p.
+func (p Point) UV() (u, v float64) { return p.X + p.Y, p.X - p.Y }
+
+// FromUV converts rotated coordinates back to a plane point.
+func FromUV(u, v float64) Point { return Point{(u + v) / 2, (u - v) / 2} }
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Eq reports whether p and q coincide within Eps in each coordinate.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// BBox returns the axis-aligned bounding box of the given points as
+// (xlo, ylo, xhi, yhi). It panics on an empty slice.
+func BBox(pts []Point) (xlo, ylo, xhi, yhi float64) {
+	if len(pts) == 0 {
+		panic("geom: BBox of empty point set")
+	}
+	xlo, ylo = pts[0].X, pts[0].Y
+	xhi, yhi = xlo, ylo
+	for _, p := range pts[1:] {
+		xlo = math.Min(xlo, p.X)
+		ylo = math.Min(ylo, p.Y)
+		xhi = math.Max(xhi, p.X)
+		yhi = math.Max(yhi, p.Y)
+	}
+	return xlo, ylo, xhi, yhi
+}
+
+// Diameter returns the Manhattan diameter of the point set: the distance
+// between the farthest pair. Because L1 becomes L∞ in rotated coordinates,
+// the diameter is max(u-extent, v-extent), computed in O(n).
+func Diameter(pts []Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	u0, v0 := pts[0].UV()
+	ulo, uhi, vlo, vhi := u0, u0, v0, v0
+	for _, p := range pts[1:] {
+		u, v := p.UV()
+		ulo = math.Min(ulo, u)
+		uhi = math.Max(uhi, u)
+		vlo = math.Min(vlo, v)
+		vhi = math.Max(vhi, v)
+	}
+	return math.Max(uhi-ulo, vhi-vlo)
+}
+
+// gap returns the separation between intervals [lo1,hi1] and [lo2,hi2];
+// zero when they overlap.
+func gap(lo1, hi1, lo2, hi2 float64) float64 {
+	if g := lo2 - hi1; g > 0 {
+		return g
+	}
+	if g := lo1 - hi2; g > 0 {
+		return g
+	}
+	return 0
+}
+
+// clamp restricts x to [lo, hi].
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,145 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Pt(0, 0), Pt(0, 0), 0},
+		{Pt(0, 0), Pt(3, 4), 7},
+		{Pt(-1, -1), Pt(1, 1), 4},
+		{Pt(2, 5), Pt(2, 5), 0},
+		{Pt(1.5, 0), Pt(0, 2.5), 4},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); math.Abs(got-c.want) > Eps {
+			t.Errorf("Dist(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+		if got := Dist(c.b, c.a); math.Abs(got-c.want) > Eps {
+			t.Errorf("Dist(%v,%v) = %g, want %g (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEuclidDist(t *testing.T) {
+	if got := EuclidDist(Pt(0, 0), Pt(3, 4)); math.Abs(got-5) > Eps {
+		t.Errorf("EuclidDist = %g, want 5", got)
+	}
+}
+
+func TestUVRoundTrip(t *testing.T) {
+	f := func(x, y float64) bool {
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		p := Pt(x, y)
+		u, v := p.UV()
+		return FromUV(u, v).Eq(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Manhattan distance in the plane must equal Chebyshev distance in rotated
+// coordinates — the identity every TRR operation relies on.
+func TestManhattanIsChebyshevInUV(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Pt(math.Mod(ax, 1e6), math.Mod(ay, 1e6))
+		b := Pt(math.Mod(bx, 1e6), math.Mod(by, 1e6))
+		au, av := a.UV()
+		bu, bv := b.UV()
+		cheb := math.Max(math.Abs(au-bu), math.Abs(av-bv))
+		return math.Abs(Dist(a, b)-cheb) <= 1e-6*(1+cheb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := Pt(rng.Float64()*100, rng.Float64()*100)
+		b := Pt(rng.Float64()*100, rng.Float64()*100)
+		c := Pt(rng.Float64()*100, rng.Float64()*100)
+		if Dist(a, c) > Dist(a, b)+Dist(b, c)+Eps {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestBBox(t *testing.T) {
+	pts := []Point{Pt(1, 5), Pt(-2, 3), Pt(4, -1)}
+	xlo, ylo, xhi, yhi := BBox(pts)
+	if xlo != -2 || ylo != -1 || xhi != 4 || yhi != 5 {
+		t.Errorf("BBox = (%g,%g,%g,%g)", xlo, ylo, xhi, yhi)
+	}
+}
+
+func TestBBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BBox(nil) did not panic")
+		}
+	}()
+	BBox(nil)
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		pts  []Point
+		want float64
+	}{
+		{nil, 0},
+		{[]Point{Pt(0, 0)}, 0},
+		{[]Point{Pt(0, 0), Pt(3, 4)}, 7},
+		{[]Point{Pt(0, 0), Pt(1, 0), Pt(0, 1), Pt(1, 1)}, 2},
+		{[]Point{Pt(0, 0), Pt(10, 0), Pt(5, 5)}, 10},
+	}
+	for i, c := range cases {
+		if got := Diameter(c.pts); math.Abs(got-c.want) > Eps {
+			t.Errorf("case %d: Diameter = %g, want %g", i, got, c.want)
+		}
+	}
+}
+
+// Diameter computed via rotated-coordinate extents must match the O(n²)
+// brute force.
+func TestDiameterBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*1000-500, rng.Float64()*1000-500)
+		}
+		var brute float64
+		for i := range pts {
+			for j := i + 1; j < n; j++ {
+				brute = math.Max(brute, Dist(pts[i], pts[j]))
+			}
+		}
+		if got := Diameter(pts); math.Abs(got-brute) > 1e-9 {
+			t.Fatalf("Diameter = %g, brute force = %g", got, brute)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 0, 3) != 3 || clamp(-1, 0, 3) != 0 || clamp(2, 0, 3) != 2 {
+		t.Error("clamp misbehaves")
+	}
+}
+
+func TestGap(t *testing.T) {
+	if gap(0, 1, 2, 3) != 1 || gap(2, 3, 0, 1) != 1 || gap(0, 2, 1, 3) != 0 {
+		t.Error("gap misbehaves")
+	}
+}

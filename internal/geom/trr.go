@@ -1,0 +1,192 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// TRR is a tilted rectangular region (§5 of the paper): the set of points
+// on the boundary and interior of a rectangle rotated 45° in the Manhattan
+// plane. In rotated coordinates it is the axis-aligned box
+//
+//	ULo ≤ x+y ≤ UHi,  VLo ≤ x−y ≤ VHi.
+//
+// Degenerate TRRs are first-class citizens exactly as in the paper: a
+// width-zero TRR is a ±45° line segment (a zero-skew merging segment) and a
+// fully degenerate TRR is a single point. A TRR with ULo > UHi or
+// VLo > VHi is empty.
+type TRR struct {
+	ULo, UHi, VLo, VHi float64
+}
+
+// PointTRR returns the singleton TRR {p}.
+func PointTRR(p Point) TRR {
+	u, v := p.UV()
+	return TRR{u, u, v, v}
+}
+
+// Diamond returns the square TRR of the paper: all points within Manhattan
+// distance r of center c. It panics if r is negative.
+func Diamond(c Point, r float64) TRR {
+	if r < 0 {
+		panic(fmt.Sprintf("geom: Diamond with negative radius %g", r))
+	}
+	return PointTRR(c).Expand(r)
+}
+
+// EmptyTRR returns a canonical empty TRR.
+func EmptyTRR() TRR { return TRR{ULo: 1, UHi: -1, VLo: 1, VHi: -1} }
+
+// Empty reports whether the region contains no points (beyond tolerance).
+func (t TRR) Empty() bool {
+	return t.ULo > t.UHi+Eps || t.VLo > t.VHi+Eps
+}
+
+// IsPoint reports whether the region is a single point within tolerance.
+func (t TRR) IsPoint() bool {
+	return !t.Empty() && t.UHi-t.ULo <= Eps && t.VHi-t.VLo <= Eps
+}
+
+// IsSegment reports whether the region has zero width: a ±45° line segment
+// (possibly a point).
+func (t TRR) IsSegment() bool {
+	return !t.Empty() && (t.UHi-t.ULo <= Eps || t.VHi-t.VLo <= Eps)
+}
+
+// Width returns the smaller side extent of the TRR measured in Manhattan
+// units (the paper's "width"; zero for merging segments).
+func (t TRR) Width() float64 {
+	if t.Empty() {
+		return 0
+	}
+	return math.Min(t.UHi-t.ULo, t.VHi-t.VLo)
+}
+
+// Contains reports whether p lies in the region within tolerance.
+func (t TRR) Contains(p Point) bool {
+	u, v := p.UV()
+	return u >= t.ULo-Eps && u <= t.UHi+Eps && v >= t.VLo-Eps && v <= t.VHi+Eps
+}
+
+// ContainsTRR reports whether every point of s lies in t within tolerance.
+func (t TRR) ContainsTRR(s TRR) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.ULo >= t.ULo-Eps && s.UHi <= t.UHi+Eps &&
+		s.VLo >= t.VLo-Eps && s.VHi <= t.VHi+Eps
+}
+
+// Intersect returns t ∩ s, which is again a TRR (Fig. 5(c) of the paper).
+func (t TRR) Intersect(s TRR) TRR {
+	r := TRR{
+		ULo: math.Max(t.ULo, s.ULo),
+		UHi: math.Min(t.UHi, s.UHi),
+		VLo: math.Max(t.VLo, s.VLo),
+		VHi: math.Min(t.VHi, s.VHi),
+	}
+	// Snap near-degenerate intersections so that regions that touch within
+	// tolerance produce a usable (non-empty) segment or point.
+	if r.ULo > r.UHi && r.ULo <= r.UHi+Eps {
+		m := (r.ULo + r.UHi) / 2
+		r.ULo, r.UHi = m, m
+	}
+	if r.VLo > r.VHi && r.VLo <= r.VHi+Eps {
+		m := (r.VLo + r.VHi) / 2
+		r.VLo, r.VHi = m, m
+	}
+	return r
+}
+
+// Expand returns TRR(t, r) in the paper's notation: the set of points
+// within Manhattan distance r of t (Fig. 5(b)). Expansion by a negative
+// radius shrinks the region (useful for tests); the result may be empty.
+func (t TRR) Expand(r float64) TRR {
+	if t.Empty() {
+		return t
+	}
+	return TRR{t.ULo - r, t.UHi + r, t.VLo - r, t.VHi + r}
+}
+
+// Dist returns the Manhattan distance between two TRRs: the minimum
+// distance between any pair of their points, zero when they intersect
+// (§10 of the paper). In rotated coordinates this is the L∞ distance
+// between two boxes.
+func (t TRR) Dist(s TRR) float64 {
+	if t.Empty() || s.Empty() {
+		panic("geom: Dist on empty TRR")
+	}
+	du := gap(t.ULo, t.UHi, s.ULo, s.UHi)
+	dv := gap(t.VLo, t.VHi, s.VLo, s.VHi)
+	return math.Max(du, dv)
+}
+
+// DistPoint returns the Manhattan distance from p to the region (zero when
+// contained).
+func (t TRR) DistPoint(p Point) float64 {
+	return t.Dist(PointTRR(p))
+}
+
+// Center returns the center point of the region.
+func (t TRR) Center() Point {
+	return FromUV((t.ULo+t.UHi)/2, (t.VLo+t.VHi)/2)
+}
+
+// ClosestPointTo returns the point of the region nearest to p in Manhattan
+// distance. Clamping u and v independently minimizes |Δu| and |Δv|
+// simultaneously, hence also max(|Δu|,|Δv|) = L1 distance.
+func (t TRR) ClosestPointTo(p Point) Point {
+	if t.Empty() {
+		panic("geom: ClosestPointTo on empty TRR")
+	}
+	u, v := p.UV()
+	return FromUV(clamp(u, t.ULo, t.UHi), clamp(v, t.VLo, t.VHi))
+}
+
+// Corners returns the four corner points of the region (duplicated for
+// degenerate regions), in counterclockwise order starting from the corner
+// with minimal u on the minimal-v side.
+func (t TRR) Corners() [4]Point {
+	return [4]Point{
+		FromUV(t.ULo, t.VLo),
+		FromUV(t.UHi, t.VLo),
+		FromUV(t.UHi, t.VHi),
+		FromUV(t.ULo, t.VHi),
+	}
+}
+
+// IntersectAll intersects all given TRRs; with no arguments it returns an
+// empty region.
+func IntersectAll(ts ...TRR) TRR {
+	if len(ts) == 0 {
+		return EmptyTRR()
+	}
+	r := ts[0]
+	for _, t := range ts[1:] {
+		r = r.Intersect(t)
+	}
+	return r
+}
+
+// PairwiseIntersect reports whether every pair of the given TRRs
+// intersects. By the Helly property of TRRs (Lemma 10.1 of the paper) this
+// holds iff IntersectAll of the same regions is non-empty; the property
+// test in this package checks exactly that equivalence.
+func PairwiseIntersect(ts []TRR) bool {
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			if ts[i].Intersect(ts[j]).Empty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the region for diagnostics.
+func (t TRR) String() string {
+	if t.Empty() {
+		return "TRR(empty)"
+	}
+	return fmt.Sprintf("TRR(u:[%g,%g] v:[%g,%g])", t.ULo, t.UHi, t.VLo, t.VHi)
+}

@@ -1,0 +1,348 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTRR(rng *rand.Rand, span float64) TRR {
+	u := rng.Float64()*span - span/2
+	v := rng.Float64()*span - span/2
+	return TRR{u, u + rng.Float64()*span/4, v, v + rng.Float64()*span/4}
+}
+
+// randPointIn samples a uniform point from a non-empty TRR.
+func randPointIn(rng *rand.Rand, t TRR) Point {
+	u := t.ULo + rng.Float64()*(t.UHi-t.ULo)
+	v := t.VLo + rng.Float64()*(t.VHi-t.VLo)
+	return FromUV(u, v)
+}
+
+func TestPointTRR(t *testing.T) {
+	p := Pt(3, 4)
+	tr := PointTRR(p)
+	if !tr.IsPoint() || !tr.Contains(p) {
+		t.Errorf("PointTRR(%v) = %v", p, tr)
+	}
+	if tr.Contains(Pt(3.1, 4)) {
+		t.Error("point TRR contains a different point")
+	}
+}
+
+func TestDiamondContainment(t *testing.T) {
+	c := Pt(1, 2)
+	d := Diamond(c, 5)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		p := Pt(c.X+rng.Float64()*12-6, c.Y+rng.Float64()*12-6)
+		in := Dist(c, p) <= 5
+		if got := d.Contains(p); got != in && math.Abs(Dist(c, p)-5) > 1e-6 {
+			t.Fatalf("Diamond contains %v = %v, dist %g", p, got, Dist(c, p))
+		}
+	}
+}
+
+func TestDiamondPanicsOnNegativeRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Diamond(Pt(0, 0), -1)
+}
+
+func TestTRREmpty(t *testing.T) {
+	if !EmptyTRR().Empty() {
+		t.Error("EmptyTRR not empty")
+	}
+	if PointTRR(Pt(0, 0)).Empty() {
+		t.Error("point TRR is empty")
+	}
+	if (TRR{0, 1, 0, 1}).Empty() {
+		t.Error("unit TRR is empty")
+	}
+}
+
+func TestTRRIsSegment(t *testing.T) {
+	seg := TRR{0, 5, 2, 2} // 45° segment
+	if !seg.IsSegment() || seg.IsPoint() || seg.Empty() {
+		t.Errorf("segment misclassified: %v", seg)
+	}
+	if seg.Width() != 0 {
+		t.Errorf("segment width = %g", seg.Width())
+	}
+}
+
+func TestTRRIntersectBasic(t *testing.T) {
+	a := TRR{0, 4, 0, 4}
+	b := TRR{2, 6, 2, 6}
+	got := a.Intersect(b)
+	want := TRR{2, 4, 2, 4}
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(a).Contains(a.Center()) {
+		t.Error("self-intersection lost the center")
+	}
+	far := TRR{10, 11, 10, 11}
+	if !a.Intersect(far).Empty() {
+		t.Error("disjoint intersection non-empty")
+	}
+}
+
+func TestTRRIntersectCommutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		a, b := randTRR(rng, 20), randTRR(rng, 20)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			t.Fatalf("intersection not commutative: %v vs %v", ab, ba)
+		}
+		if !ab.Empty() {
+			c := ab.Center()
+			if !a.Contains(c) || !b.Contains(c) {
+				t.Fatalf("center of %v ∩ %v outside an operand", a, b)
+			}
+		}
+	}
+}
+
+func TestTRRExpandDistIdentity(t *testing.T) {
+	// dist(A, B) ≤ r  ⇔  A ∩ Expand(B, r) non-empty: the identity the
+	// bottom-up feasible-region construction of §5 relies on.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		a, b := randTRR(rng, 30), randTRR(rng, 30)
+		d := a.Dist(b)
+		r := rng.Float64() * 20
+		inter := a.Intersect(b.Expand(r))
+		if (d <= r+Eps) != !inter.Empty() {
+			t.Fatalf("dist=%g r=%g but intersection empty=%v (a=%v b=%v)",
+				d, r, inter.Empty(), a, b)
+		}
+	}
+}
+
+func TestTRRDistMatchesSampledPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randTRR(rng, 30), randTRR(rng, 30)
+		d := a.Dist(b)
+		best := math.Inf(1)
+		for i := 0; i < 200; i++ {
+			p, q := randPointIn(rng, a), randPointIn(rng, b)
+			best = math.Min(best, Dist(p, q))
+		}
+		// Sampling can only overestimate the true minimum distance.
+		if best < d-1e-6 {
+			t.Fatalf("sampled distance %g below computed %g", best, d)
+		}
+		// And the closest-point construction must achieve it exactly.
+		p := a.ClosestPointTo(b.Center())
+		q := b.ClosestPointTo(p)
+		p2 := a.ClosestPointTo(q)
+		if got := Dist(p2, q); got < d-1e-6 {
+			t.Fatalf("alternating projection found %g < dist %g", got, d)
+		}
+	}
+}
+
+func TestTRRDistZeroWhenIntersecting(t *testing.T) {
+	a := TRR{0, 4, 0, 4}
+	b := TRR{2, 6, -1, 1}
+	if d := a.Dist(b); d != 0 {
+		t.Errorf("Dist of intersecting TRRs = %g", d)
+	}
+}
+
+func TestTRRDistKnown(t *testing.T) {
+	// Two points: distance must be Manhattan distance.
+	a := PointTRR(Pt(0, 0))
+	b := PointTRR(Pt(3, 4))
+	if d := a.Dist(b); math.Abs(d-7) > Eps {
+		t.Errorf("point-point TRR dist = %g, want 7", d)
+	}
+	// Two diamonds radius 1 centered 7 apart: distance 5.
+	da := Diamond(Pt(0, 0), 1)
+	db := Diamond(Pt(3, 4), 1)
+	if d := da.Dist(db); math.Abs(d-5) > Eps {
+		t.Errorf("diamond dist = %g, want 5", d)
+	}
+}
+
+func TestTRRClosestPointTo(t *testing.T) {
+	tr := Diamond(Pt(0, 0), 2)
+	p := Pt(10, 0)
+	c := tr.ClosestPointTo(p)
+	if !tr.Contains(c) {
+		t.Fatalf("closest point %v outside region", c)
+	}
+	if d := Dist(p, c); math.Abs(d-8) > Eps {
+		t.Errorf("closest distance = %g, want 8", d)
+	}
+	inside := Pt(0.5, 0.5)
+	if got := tr.ClosestPointTo(inside); !got.Eq(inside) {
+		t.Errorf("closest point to interior point moved: %v", got)
+	}
+}
+
+func TestTRRClosestPointIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		tr := randTRR(rng, 20)
+		p := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		c := tr.ClosestPointTo(p)
+		if !tr.Contains(c) {
+			t.Fatalf("closest point outside TRR")
+		}
+		want := tr.DistPoint(p)
+		if math.Abs(Dist(p, c)-want) > 1e-6 {
+			t.Fatalf("closest point at %g, DistPoint %g", Dist(p, c), want)
+		}
+	}
+}
+
+func TestTRRCorners(t *testing.T) {
+	tr := TRR{0, 2, 0, 2}
+	for _, c := range tr.Corners() {
+		if !tr.Contains(c) {
+			t.Errorf("corner %v outside TRR", c)
+		}
+	}
+}
+
+func TestTRRExpandGrowsContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		a := randTRR(rng, 20)
+		r := rng.Float64() * 5
+		e := a.Expand(r)
+		if !e.ContainsTRR(a) {
+			t.Fatalf("Expand(%g) lost containment", r)
+		}
+		p := randPointIn(rng, a)
+		q := Pt(p.X+r/2, p.Y)
+		if !e.Contains(q) {
+			t.Fatalf("point within r of region not in expansion")
+		}
+	}
+}
+
+// Lemma 10.1 (Helly property of TRRs): pairwise intersecting TRRs have a
+// common point. This is the keystone of the Theorem 4.1 embedding proof.
+func TestHellyPropertyLemma101(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(8)
+		ts := make([]TRR, n)
+		for i := range ts {
+			ts[i] = randTRR(rng, 25)
+		}
+		pair := PairwiseIntersect(ts)
+		all := !IntersectAll(ts...).Empty()
+		if pair != all {
+			t.Fatalf("Helly violated: pairwise=%v common=%v for %v", pair, all, ts)
+		}
+	}
+}
+
+// The Helly property fails for Euclidean disks — the reason EBF is
+// restricted to the Manhattan metric (§4.7, footnote 3). Three unit disks
+// centered on an equilateral triangle of side ~1.99 intersect pairwise but
+// share no common point; verify our TRR machinery does NOT model that
+// (diamonds with the same centers and radii do share a point or do not
+// pairwise intersect — i.e. the property test above still holds for them).
+func TestHellyHoldsForDiamondsOnTriangle(t *testing.T) {
+	centers := []Point{Pt(0, 0), Pt(1.99, 0), Pt(1, 1.7)}
+	for r := 0.5; r < 3; r += 0.125 {
+		ts := []TRR{Diamond(centers[0], r), Diamond(centers[1], r), Diamond(centers[2], r)}
+		if PairwiseIntersect(ts) != !IntersectAll(ts...).Empty() {
+			t.Fatalf("Helly violated for diamonds at r=%g", r)
+		}
+	}
+}
+
+func TestIntersectAllEmptyInput(t *testing.T) {
+	if !IntersectAll().Empty() {
+		t.Error("IntersectAll() should be empty")
+	}
+}
+
+func TestTRRString(t *testing.T) {
+	if EmptyTRR().String() != "TRR(empty)" {
+		t.Error("empty TRR string")
+	}
+	if s := (TRR{0, 1, 0, 1}).String(); s == "" {
+		t.Error("empty string for valid TRR")
+	}
+}
+
+func TestTRRDistPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	EmptyTRR().Dist(PointTRR(Pt(0, 0)))
+}
+
+func TestTRRWidthAndExpandDegenerate(t *testing.T) {
+	if EmptyTRR().Width() != 0 {
+		t.Error("empty width")
+	}
+	if !EmptyTRR().Expand(3).Empty() {
+		t.Error("expanding an empty TRR must stay empty")
+	}
+	sq := Diamond(Pt(0, 0), 2)
+	if w := sq.Width(); math.Abs(w-4) > Eps {
+		t.Errorf("square TRR width = %g, want 4 (u/v extent)", w)
+	}
+	// Negative expansion shrinks to empty.
+	if !sq.Expand(-3).Empty() {
+		t.Error("over-shrunk TRR not empty")
+	}
+}
+
+func TestContainsTRRCases(t *testing.T) {
+	big := Diamond(Pt(0, 0), 5)
+	small := Diamond(Pt(1, 0), 1)
+	if !big.ContainsTRR(small) {
+		t.Error("containment missed")
+	}
+	if small.ContainsTRR(big) {
+		t.Error("reverse containment accepted")
+	}
+	if !small.ContainsTRR(EmptyTRR()) {
+		t.Error("empty TRR must be contained everywhere")
+	}
+}
+
+func TestIntersectSnapsTolerantTouch(t *testing.T) {
+	// Two diamonds whose gap is below Eps must yield a snapped point-ish
+	// intersection rather than empty.
+	a := Diamond(Pt(0, 0), 1)
+	b := Diamond(Pt(2+Eps/4, 0), 1)
+	if a.Intersect(b).Empty() {
+		t.Error("touch within tolerance reported empty")
+	}
+	c := Diamond(Pt(2.1, 0), 1)
+	if !a.Intersect(c).Empty() {
+		t.Error("clear gap reported non-empty")
+	}
+}
+
+func TestClosestPointToPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	EmptyTRR().ClosestPointTo(Pt(0, 0))
+}
+
+func TestPointAdd(t *testing.T) {
+	if got := Pt(1, 2).Add(3, -1); !got.Eq(Pt(4, 1)) {
+		t.Errorf("Add = %v", got)
+	}
+}

@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// ErrNotSPD is returned by Cholesky when the matrix is not (numerically)
+// symmetric positive definite.
+var ErrNotSPD = errors.New("linalg: matrix not positive definite")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, with L
+// unit lower triangular and U upper triangular, packed into one matrix.
+type LU struct {
+	lu   *Matrix
+	perm []int
+}
+
+// FactorLU computes the LU factorization of the square matrix a. The input
+// is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: FactorLU of non-square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest magnitude in column k.
+		p, best := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		if best < 1e-13 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm}, nil
+}
+
+// Solve computes x such that A x = b for the factored A.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: LU.Solve length mismatch")
+	}
+	x := make([]float64, n)
+	for i, p := range f.perm {
+		x[i] = b[p]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+	return x
+}
+
+// SolveLU is a convenience wrapper: factor a and solve a single system.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Cholesky holds the lower-triangular Cholesky factor L of an SPD matrix:
+// A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive definite matrix a (only the lower triangle of a is read). A
+// small diagonal regularization reg (≥ 0) is added, which interior-point
+// methods use to keep nearly-degenerate normal equations factorable.
+func FactorCholesky(a *Matrix, reg float64) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: FactorCholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + reg
+		lj := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lj[k] * lj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotSPD
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve computes x such that A x = b for the factored SPD matrix A.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows
+	if len(b) != n {
+		panic("linalg: Cholesky.Solve length mismatch")
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ri := c.l.Row(i)
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * y[j]
+		}
+		y[i] = s / ri[i]
+	}
+	// Back: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}

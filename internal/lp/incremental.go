@@ -1,0 +1,232 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Incremental is a cutting-plane LP engine: rows are added over time and
+// each re-solve warm-starts from the previous optimal basis using the dual
+// simplex method. It requires a non-negative objective (true of every EBF
+// cost vector), which makes x = 0 dual-feasible — no phase-1/artificial
+// machinery is ever needed, and after adding k violated rows the re-solve
+// typically needs only O(k) pivots. This is what makes the §4.6
+// constraint reduction fast in practice: the row-generation loop in
+// internal/core adds the violated Steiner rows and re-optimizes in
+// milliseconds instead of re-solving from scratch.
+type Incremental struct {
+	tol   float64
+	nVars int
+
+	cols  int         // total columns: nVars + one slack per row
+	rows  [][]float64 // tableau rows, each of length cap ≥ cols
+	rhs   []float64
+	basis []int
+	obj   []float64 // reduced-cost row
+	objV  float64   // objective-row constant (kept for diagnostics)
+	origC []float64 // original costs, for exact objective extraction
+
+	iterations int
+	infeasible bool
+}
+
+// NewIncremental starts an engine over n variables (x ≥ 0) with the given
+// non-negative objective (length n; shorter is zero-padded). It panics on
+// a negative cost, which would make the empty basis dual-infeasible.
+func NewIncremental(n int, objective []float64) *Incremental {
+	inc := &Incremental{
+		tol:   1e-9,
+		nVars: n,
+		cols:  n,
+		obj:   make([]float64, n),
+		origC: make([]float64, n),
+	}
+	for j, c := range objective {
+		if c < 0 {
+			panic(fmt.Sprintf("lp: Incremental needs non-negative costs; var %d has %g", j, c))
+		}
+		if j < n {
+			inc.obj[j] = c
+			inc.origC[j] = c
+		}
+	}
+	return inc
+}
+
+// NumRows returns the number of tableau rows (EQ constraints count twice).
+func (inc *Incremental) NumRows() int { return len(inc.rows) }
+
+// Iterations returns the cumulative dual-simplex pivot count.
+func (inc *Incremental) Iterations() int { return inc.iterations }
+
+// AddRow introduces the constraint Σ terms {op} rhs. EQ rows are split
+// into a ≤ and a ≥ row. The engine becomes primal-infeasible until the
+// next Solve call.
+func (inc *Incremental) AddRow(terms []Term, op Op, rhs float64) {
+	switch op {
+	case LE:
+		inc.addLE(terms, rhs, 1)
+	case GE:
+		inc.addLE(terms, rhs, -1) // −Σ a x ≤ −b
+	case EQ:
+		inc.addLE(terms, rhs, 1)
+		inc.addLE(terms, rhs, -1)
+	}
+}
+
+// addLE appends sign·(Σ terms) ≤ sign·rhs in ≤ form.
+func (inc *Incremental) addLE(terms []Term, rhs float64, sign float64) {
+	row := make([]float64, inc.cols+1, inc.cols+1+64)
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= inc.nVars {
+			panic(fmt.Sprintf("lp: Incremental row references variable %d of %d", t.Var, inc.nVars))
+		}
+		row[t.Var] += sign * t.Coef
+	}
+	b := sign * rhs
+	// Express the new row in the current basis: eliminate basic columns.
+	// Older tableau rows can be shorter than cols (slack columns appended
+	// later are implicitly zero there).
+	for i, bj := range inc.basis {
+		f := row[bj]
+		if f == 0 {
+			continue
+		}
+		ri := inc.rows[i]
+		for j := 0; j < len(ri) && j < inc.cols; j++ {
+			row[j] -= f * ri[j]
+		}
+		row[bj] = 0
+		b -= f * inc.rhs[i]
+	}
+	// New slack column: zero in existing rows (they never touch it), one
+	// here; the slack enters the basis carrying value b.
+	slack := inc.cols
+	inc.cols++
+	row[slack] = 1
+	inc.rows = append(inc.rows, row)
+	inc.rhs = append(inc.rhs, b)
+	inc.basis = append(inc.basis, slack)
+	// obj gains a zero-cost column.
+	inc.obj = append(inc.obj, 0)
+}
+
+// colAt returns row[j], treating columns beyond the stored length as zero
+// (rows created before later slack columns existed).
+func colAt(row []float64, j int) float64 {
+	if j < len(row) {
+		return row[j]
+	}
+	return 0
+}
+
+func (inc *Incremental) pivot(r, cIn int) {
+	prow := inc.rows[r]
+	prow = inc.grow(prow)
+	inc.rows[r] = prow
+	pv := prow[cIn]
+	invPv := 1 / pv
+	for j := 0; j < inc.cols; j++ {
+		prow[j] *= invPv
+	}
+	prow[cIn] = 1
+	inc.rhs[r] *= invPv
+	for i := range inc.rows {
+		if i == r {
+			continue
+		}
+		f := colAt(inc.rows[i], cIn)
+		if f == 0 {
+			continue
+		}
+		ri := inc.grow(inc.rows[i])
+		inc.rows[i] = ri
+		for j := 0; j < inc.cols; j++ {
+			ri[j] -= f * prow[j]
+		}
+		ri[cIn] = 0
+		inc.rhs[i] -= f * inc.rhs[r]
+	}
+	if f := colAt(inc.obj, cIn); f != 0 {
+		inc.obj = inc.grow(inc.obj)
+		for j := 0; j < inc.cols; j++ {
+			inc.obj[j] -= f * prow[j]
+		}
+		inc.obj[cIn] = 0
+		inc.objV -= f * inc.rhs[r]
+	}
+	inc.basis[r] = cIn
+}
+
+// grow pads a row with zeros up to the current column count.
+func (inc *Incremental) grow(row []float64) []float64 {
+	for len(row) < inc.cols {
+		row = append(row, 0)
+	}
+	return row
+}
+
+// Solve re-optimizes with the dual simplex method and returns the current
+// solution. Status is Optimal or Infeasible (a non-negative objective
+// over x ≥ 0 can never be unbounded); Numerical/IterLimit report trouble.
+func (inc *Incremental) Solve() (*Solution, error) {
+	if inc.infeasible {
+		return &Solution{Status: Infeasible, Iterations: inc.iterations}, nil
+	}
+	maxIter := 20000 + 200*(len(inc.rows)+inc.cols)
+	for iter := 0; ; iter++ {
+		if iter >= maxIter {
+			return &Solution{Status: IterLimit, Iterations: inc.iterations}, nil
+		}
+		// Leaving row: most negative right-hand side.
+		r, worst := -1, -inc.tol
+		for i, b := range inc.rhs {
+			if b < worst {
+				r, worst = i, b
+			}
+		}
+		if r < 0 {
+			break // primal feasible ⇒ optimal (dual feasibility invariant)
+		}
+		// Entering column: dual ratio test over negative coefficients.
+		row := inc.rows[r]
+		cIn, best := -1, math.Inf(1)
+		for j := 0; j < inc.cols; j++ {
+			a := colAt(row, j)
+			if a >= -inc.tol {
+				continue
+			}
+			ratio := colAt(inc.obj, j) / (-a)
+			if ratio < best-inc.tol || (ratio < best+inc.tol && (cIn < 0 || j < cIn)) {
+				cIn, best = j, ratio
+			}
+		}
+		if cIn < 0 {
+			// The row reads Σ (≥0 coefficients) = negative: infeasible.
+			inc.infeasible = true
+			return &Solution{Status: Infeasible, Iterations: inc.iterations}, nil
+		}
+		inc.pivot(r, cIn)
+		inc.iterations++
+	}
+	x := make([]float64, inc.nVars)
+	for i, bj := range inc.basis {
+		if bj < inc.nVars {
+			v := inc.rhs[i]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[bj] = v
+		}
+	}
+	var objVal float64
+	for j, c := range inc.origC {
+		objVal += c * x[j]
+	}
+	return &Solution{
+		Status:     Optimal,
+		X:          x,
+		Objective:  objVal,
+		Iterations: inc.iterations,
+	}, nil
+}

@@ -1,0 +1,219 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIncrementalBasic(t *testing.T) {
+	// min x+y s.t. x+y ≥ 3, x ≥ 1 (same as TestSimplexGERows).
+	inc := NewIncremental(2, []float64{1, 1})
+	inc.AddRow([]Term{{0, 1}, {1, 1}}, GE, 3)
+	inc.AddRow([]Term{{0, 1}}, GE, 1)
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-3) > 1e-8 {
+		t.Fatalf("status %v obj %g", sol.Status, sol.Objective)
+	}
+}
+
+func TestIncrementalRowByRow(t *testing.T) {
+	// Add rows one at a time, re-solving between additions; the optimum
+	// must track the cold solve after every step.
+	inc := NewIncremental(2, []float64{1, 2})
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 2)
+	steps := []struct {
+		terms []Term
+		op    Op
+		rhs   float64
+	}{
+		{[]Term{{0, 1}, {1, 1}}, GE, 4},
+		{[]Term{{0, 1}}, LE, 3},
+		{[]Term{{1, 1}}, GE, 0.5},
+		{[]Term{{0, 1}, {1, -1}}, LE, 2},
+	}
+	for i, s := range steps {
+		inc.AddRow(s.terms, s.op, s.rhs)
+		p.AddConstraint(s.terms, s.op, s.rhs, "")
+		warm, err := inc.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := (&Simplex{}).Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("step %d: warm %v vs cold %v", i, warm.Status, cold.Status)
+		}
+		if warm.Status == Optimal && math.Abs(warm.Objective-cold.Objective) > 1e-7 {
+			t.Fatalf("step %d: warm %g vs cold %g", i, warm.Objective, cold.Objective)
+		}
+	}
+}
+
+func TestIncrementalEquality(t *testing.T) {
+	// min 2x+3y s.t. x+y = 4 → x=4, obj 8.
+	inc := NewIncremental(2, []float64{2, 3})
+	inc.AddRow([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-8) > 1e-8 {
+		t.Fatalf("status %v obj %g x %v", sol.Status, sol.Objective, sol.X)
+	}
+}
+
+func TestIncrementalInfeasible(t *testing.T) {
+	inc := NewIncremental(1, []float64{1})
+	inc.AddRow([]Term{{0, 1}}, GE, 5)
+	inc.AddRow([]Term{{0, 1}}, LE, 3)
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", sol.Status)
+	}
+	// The engine stays infeasible (monotone: rows are never removed).
+	inc.AddRow([]Term{{0, 1}}, GE, 0)
+	if sol, _ := inc.Solve(); sol.Status != Infeasible {
+		t.Fatal("infeasibility not sticky")
+	}
+}
+
+func TestIncrementalEmpty(t *testing.T) {
+	inc := NewIncremental(3, []float64{1, 1, 1})
+	sol, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Fatalf("empty solve: %v %g", sol.Status, sol.Objective)
+	}
+}
+
+func TestIncrementalPanicsOnNegativeCost(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewIncremental(1, []float64{-1})
+}
+
+func TestIncrementalPanicsOnBadVar(t *testing.T) {
+	inc := NewIncremental(1, []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	inc.AddRow([]Term{{3, 1}}, GE, 1)
+}
+
+// Randomized cross-check against the cold simplex on EBF-shaped problems
+// (non-negative costs, mixed GE/LE/EQ sum rows).
+func TestIncrementalMatchesColdSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(8)
+		costs := make([]float64, n)
+		for j := range costs {
+			costs[j] = rng.Float64() * 5
+		}
+		inc := NewIncremental(n, costs)
+		p := NewProblem(n)
+		for j, c := range costs {
+			p.SetCost(j, c)
+		}
+		rounds := 1 + rng.Intn(4)
+		for round := 0; round < rounds; round++ {
+			rows := 1 + rng.Intn(4)
+			for r := 0; r < rows; r++ {
+				var terms []Term
+				for j := 0; j < n; j++ {
+					if rng.Intn(2) == 0 {
+						terms = append(terms, Term{j, 1})
+					}
+				}
+				if len(terms) == 0 {
+					terms = []Term{{rng.Intn(n), 1}}
+				}
+				rhs := rng.Float64() * 10
+				var op Op
+				switch rng.Intn(4) {
+				case 0:
+					op = LE
+					rhs += 5 // keep a decent share feasible
+				case 1, 2:
+					op = GE
+				default:
+					op = EQ
+				}
+				inc.AddRow(terms, op, rhs)
+				p.AddConstraint(terms, op, rhs, "")
+			}
+			warm, err := inc.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := (&Simplex{}).Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Status != cold.Status {
+				t.Fatalf("trial %d round %d: warm %v cold %v", trial, round, warm.Status, cold.Status)
+			}
+			if warm.Status == Infeasible {
+				break
+			}
+			if math.Abs(warm.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("trial %d round %d: warm %.9g cold %.9g", trial, round, warm.Objective, cold.Objective)
+			}
+			if v, i := p.MaxViolation(warm.X); v > 1e-6 {
+				t.Fatalf("trial %d round %d: warm violation %g at row %d", trial, round, v, i)
+			}
+		}
+	}
+}
+
+func TestIncrementalGetters(t *testing.T) {
+	inc := NewIncremental(2, []float64{1, 1})
+	if inc.NumRows() != 0 || inc.Iterations() != 0 {
+		t.Error("fresh engine not zeroed")
+	}
+	inc.AddRow([]Term{{0, 1}}, GE, 1)
+	inc.AddRow([]Term{{1, 1}}, EQ, 2) // counts as two rows
+	if inc.NumRows() != 3 {
+		t.Errorf("NumRows = %d, want 3", inc.NumRows())
+	}
+	if _, err := inc.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Iterations() == 0 {
+		t.Error("no pivots recorded")
+	}
+}
+
+func TestIncrementalSolveIdempotent(t *testing.T) {
+	inc := NewIncremental(2, []float64{1, 3})
+	inc.AddRow([]Term{{0, 1}, {1, 1}}, GE, 5)
+	a, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective || a.Status != b.Status {
+		t.Fatal("re-solving without new rows changed the answer")
+	}
+}

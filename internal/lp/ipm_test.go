@@ -1,0 +1,123 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIPMTwoVar(t *testing.T) {
+	p := NewProblem(2)
+	p.SetCost(0, -3)
+	p.SetCost(1, -5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4, "")
+	p.AddConstraint([]Term{{1, 2}}, LE, 12, "")
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18, "")
+	sol, err := (&IPM{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-36)) > 1e-5 {
+		t.Fatalf("objective = %g, want −36", sol.Objective)
+	}
+}
+
+func TestIPMEquality(t *testing.T) {
+	p := NewProblem(2)
+	p.SetCost(0, 2)
+	p.SetCost(1, 3)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4, "")
+	sol, err := (&IPM{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-8) > 1e-5 {
+		t.Fatalf("got %v obj %g, want 8", sol.Status, sol.Objective)
+	}
+}
+
+func TestIPMNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	sol, err := (&IPM{}).Solve(p)
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("sol=%v err=%v", sol, err)
+	}
+}
+
+// Cross-check: on random feasible bounded LPs the interior-point optimum
+// must match the simplex optimum.
+func TestIPMMatchesSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	matched := 0
+	for trial := 0; trial < 120; trial++ {
+		p := randomFeasibleLP(rng)
+		ss, err := (&Simplex{}).Solve(p)
+		if err != nil || ss.Status != Optimal {
+			t.Fatalf("simplex trial %d: %v %v", trial, ss.Status, err)
+		}
+		is, err := (&IPM{}).Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if is.Status != Optimal {
+			// The IPM may hit numerical trouble on nasty random rows; it
+			// must not, however, claim optimality with a wrong value.
+			continue
+		}
+		scale := 1 + math.Abs(ss.Objective)
+		if math.Abs(is.Objective-ss.Objective)/scale > 1e-4 {
+			t.Fatalf("trial %d: ipm %.8g vs simplex %.8g", trial, is.Objective, ss.Objective)
+		}
+		if v, i := p.MaxViolation(is.X); v > 1e-4 {
+			t.Fatalf("trial %d: ipm violation %g at row %d", trial, v, i)
+		}
+		matched++
+	}
+	if matched < 100 {
+		t.Errorf("IPM converged on only %d/120 random LPs", matched)
+	}
+}
+
+func TestIPMOnEBFShape(t *testing.T) {
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 1)
+	p.AddSumGE([]int{0, 1}, 10, "steiner")
+	p.AddSumGE([]int{0}, 6, "l1")
+	p.AddSumLE([]int{0}, 8, "u1")
+	p.AddSumGE([]int{1}, 6, "l2")
+	p.AddSumLE([]int{1}, 8, "u2")
+	sol, err := (&IPM{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || math.Abs(sol.Objective-12) > 1e-5 {
+		t.Fatalf("status %v obj %g", sol.Status, sol.Objective)
+	}
+}
+
+func TestIPMDoesNotClaimOptimalOnInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetCost(0, 1)
+	p.AddSumGE([]int{0}, 5, "")
+	p.AddSumLE([]int{0}, 3, "")
+	sol, err := (&IPM{MaxIter: 60}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == Optimal {
+		if v, _ := p.MaxViolation(sol.X); v > 1e-4 {
+			t.Fatalf("IPM claimed optimal with violation %g", v)
+		}
+	}
+}
+
+func TestIPMBadProblem(t *testing.T) {
+	if _, err := (&IPM{}).Solve(nil); err == nil {
+		t.Error("nil problem accepted")
+	}
+}

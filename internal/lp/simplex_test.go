@@ -1,0 +1,302 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveSimplex(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := (&Simplex{}).Solve(p)
+	if err != nil {
+		t.Fatalf("simplex error: %v", err)
+	}
+	return sol
+}
+
+func requireOptimal(t *testing.T, sol *Solution, wantObj float64, tol float64) {
+	t.Helper()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-wantObj) > tol {
+		t.Fatalf("objective = %g, want %g (x=%v)", sol.Objective, wantObj, sol.X)
+	}
+}
+
+func TestSimplexTwoVarLE(t *testing.T) {
+	// max 3x+5y s.t. x≤4, 2y≤12, 3x+2y≤18  (classic; optimum 36 at (2,6)).
+	// Stated as minimization of −3x−5y.
+	p := NewProblem(2)
+	p.SetCost(0, -3)
+	p.SetCost(1, -5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4, "x")
+	p.AddConstraint([]Term{{1, 2}}, LE, 12, "y")
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18, "mix")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, -36, 1e-8)
+	if math.Abs(sol.X[0]-2) > 1e-8 || math.Abs(sol.X[1]-6) > 1e-8 {
+		t.Errorf("x = %v, want (2,6)", sol.X)
+	}
+}
+
+func TestSimplexGERows(t *testing.T) {
+	// min x+y s.t. x+y ≥ 3, x ≥ 1. Optimum 3.
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 1)
+	p.AddSumGE([]int{0, 1}, 3, "sum")
+	p.AddSumGE([]int{0}, 1, "x")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 3, 1e-8)
+	if sol.X[0] < 1-1e-8 {
+		t.Errorf("x0 = %g violates x ≥ 1", sol.X[0])
+	}
+}
+
+func TestSimplexEquality(t *testing.T) {
+	// min 2x+3y s.t. x+y = 4, x−y = 0 → x=y=2, objective 10.
+	p := NewProblem(2)
+	p.SetCost(0, 2)
+	p.SetCost(1, 3)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4, "")
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, EQ, 0, "")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 10, 1e-8)
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetCost(0, 1)
+	p.AddSumGE([]int{0}, 5, "")
+	p.AddSumLE([]int{0}, 3, "")
+	sol := solveSimplex(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexInfeasibleEquality(t *testing.T) {
+	// x + y = −1 with x,y ≥ 0 is infeasible.
+	p := NewProblem(2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, -1, "")
+	sol := solveSimplex(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// min −x s.t. x ≥ 1: unbounded below.
+	p := NewProblem(1)
+	p.SetCost(0, -1)
+	p.AddSumGE([]int{0}, 1, "")
+	sol := solveSimplex(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexNoConstraints(t *testing.T) {
+	p := NewProblem(3)
+	p.SetCost(0, 1)
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 0, 0)
+	p.SetCost(1, -1)
+	sol = solveSimplex(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// −x ≤ −2 means x ≥ 2; min x → 2.
+	p := NewProblem(1)
+	p.SetCost(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -2, "")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 2, 1e-8)
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// A classic degenerate LP (Beale's cycling example shape); Bland's rule
+	// must terminate.
+	p := NewProblem(4)
+	p.Objective = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -1.0 / 25}, {3, 9}}, LE, 0, "")
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -1.0 / 50}, {3, 3}}, LE, 0, "")
+	p.AddConstraint([]Term{{2, 1}}, LE, 1, "")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, -0.05, 1e-8)
+}
+
+func TestSimplexRedundantRows(t *testing.T) {
+	// Duplicate equality rows create redundant artificials in phase 1.
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2, "")
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2, "dup")
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 4, "scaled dup")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 2, 1e-8) // x=(2,0)
+}
+
+func TestSimplexRangeRow(t *testing.T) {
+	// 3 ≤ x+y ≤ 5 as two rows, min x+2y → x=3,y=0.
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 2)
+	p.AddSumGE([]int{0, 1}, 3, "lo")
+	p.AddSumLE([]int{0, 1}, 5, "hi")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 3, 1e-8)
+}
+
+func TestSimplexTightRange(t *testing.T) {
+	// l = u forces equality through the pair of rows.
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 1)
+	p.AddSumGE([]int{0, 1}, 4, "lo")
+	p.AddSumLE([]int{0, 1}, 4, "hi")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 4, 1e-8)
+}
+
+func TestSimplexEBFShape(t *testing.T) {
+	// A miniature EBF: 2 sinks under a root (star topology), distance 10
+	// apart, delays in [6, 8]. Variables e1, e2 (root edges).
+	// Steiner: e1+e2 ≥ 10; delays: 6 ≤ e1 ≤ 8, 6 ≤ e2 ≤ 8.
+	// Optimum: e1 = e2 = 6? e1+e2 ≥ 10 already satisfied by 12 ≥ 10.
+	// Cost 12.
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 1)
+	p.AddSumGE([]int{0, 1}, 10, "steiner")
+	p.AddSumGE([]int{0}, 6, "l1")
+	p.AddSumLE([]int{0}, 8, "u1")
+	p.AddSumGE([]int{1}, 6, "l2")
+	p.AddSumLE([]int{1}, 8, "u2")
+	sol := solveSimplex(t, p)
+	requireOptimal(t, sol, 12, 1e-8)
+}
+
+func TestSimplexSolutionFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		p := randomFeasibleLP(rng)
+		sol := solveSimplex(t, p)
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if v, i := p.MaxViolation(sol.X); v > 1e-6 {
+			t.Fatalf("trial %d: violation %g at row %d", trial, v, i)
+		}
+	}
+}
+
+// randomFeasibleLP builds an LP guaranteed feasible: random ≥/≤/= rows
+// generated around a known feasible point, with non-negative costs so the
+// problem is also bounded.
+func randomFeasibleLP(rng *rand.Rand) *Problem {
+	n := 2 + rng.Intn(6)
+	p := NewProblem(n)
+	x0 := make([]float64, n)
+	for j := range x0 {
+		x0[j] = rng.Float64() * 10
+		p.SetCost(j, rng.Float64()*5)
+	}
+	rows := 1 + rng.Intn(8)
+	for i := 0; i < rows; i++ {
+		var terms []Term
+		act := 0.0
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				co := rng.Float64()*4 - 2
+				terms = append(terms, Term{j, co})
+				act += co * x0[j]
+			}
+		}
+		if len(terms) == 0 {
+			terms = append(terms, Term{0, 1})
+			act = x0[0]
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddConstraint(terms, LE, act+rng.Float64()*3, "")
+		case 1:
+			p.AddConstraint(terms, GE, act-rng.Float64()*3, "")
+		default:
+			p.AddConstraint(terms, EQ, act, "")
+		}
+	}
+	return p
+}
+
+func TestSimplexBadProblem(t *testing.T) {
+	if _, err := (&Simplex{}).Solve(nil); err == nil {
+		t.Error("nil problem accepted")
+	}
+}
+
+func TestAddConstraintPanicsOnBadVar(t *testing.T) {
+	p := NewProblem(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	p.AddConstraint([]Term{{5, 1}}, LE, 1, "")
+}
+
+func TestMaxViolation(t *testing.T) {
+	p := NewProblem(2)
+	p.AddSumGE([]int{0, 1}, 10, "")
+	v, i := p.MaxViolation([]float64{3, 3})
+	if math.Abs(v-4) > 1e-12 || i != 0 {
+		t.Errorf("violation = %g at %d", v, i)
+	}
+	v, _ = p.MaxViolation([]float64{5, 6})
+	if v != 0 {
+		t.Errorf("violation = %g for feasible point", v)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("Op strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" {
+		t.Error("Status strings wrong")
+	}
+}
+
+func TestSimplexIterationLimit(t *testing.T) {
+	p := NewProblem(3)
+	p.SetCost(0, 1)
+	p.AddSumGE([]int{0, 1, 2}, 10, "")
+	p.AddSumGE([]int{0, 1}, 5, "")
+	sol, err := (&Simplex{MaxIter: 1}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit && sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+}
+
+func TestProblemEvalAndRowActivity(t *testing.T) {
+	p := NewProblem(2)
+	p.SetCost(0, 2)
+	p.SetCost(1, 3)
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, LE, 4, "")
+	x := []float64{5, 2}
+	if got := p.Eval(x); got != 16 {
+		t.Errorf("Eval = %g", got)
+	}
+	if got := p.RowActivity(0, x); got != 3 {
+		t.Errorf("RowActivity = %g", got)
+	}
+}

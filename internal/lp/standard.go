@@ -1,0 +1,78 @@
+package lp
+
+// standardForm is the canonical shape both solvers consume:
+//
+//	min cᵀx  s.t.  A x = b,  x ≥ 0,  b ≥ 0,
+//
+// where x is the original variables followed by one slack/surplus variable
+// per inequality row. Rows with negative right-hand sides are negated (and
+// their operators flipped) before slacks are added so that b ≥ 0, which
+// the phase-1 simplex start requires.
+type standardForm struct {
+	m, n  int         // rows, columns (original + slack)
+	nOrig int         // original variable count
+	a     [][]float64 // dense rows, len m × n
+	b     []float64   // len m, non-negative
+	c     []float64   // len n (zero on slack columns)
+	// slackOf[i] is the column of row i's slack variable, or −1 for an
+	// equality row.
+	slackOf []int
+}
+
+// toStandard converts a Problem into standard form.
+func toStandard(p *Problem) *standardForm {
+	m := len(p.Cons)
+	// Count slacks.
+	slacks := 0
+	for _, c := range p.Cons {
+		if c.Op != EQ {
+			slacks++
+		}
+	}
+	n := p.NumVars + slacks
+	sf := &standardForm{
+		m: m, n: n, nOrig: p.NumVars,
+		b:       make([]float64, m),
+		c:       make([]float64, n),
+		slackOf: make([]int, m),
+	}
+	copy(sf.c, p.Objective)
+	sf.a = make([][]float64, m)
+	flat := make([]float64, m*n)
+	next := p.NumVars
+	for i, con := range p.Cons {
+		row := flat[i*n : (i+1)*n]
+		sf.a[i] = row
+		for _, t := range con.Terms {
+			row[t.Var] += t.Coef
+		}
+		rhs := con.RHS
+		op := con.Op
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		sf.b[i] = rhs
+		switch op {
+		case LE:
+			row[next] = 1
+			sf.slackOf[i] = next
+			next++
+		case GE:
+			row[next] = -1
+			sf.slackOf[i] = next
+			next++
+		case EQ:
+			sf.slackOf[i] = -1
+		}
+	}
+	return sf
+}

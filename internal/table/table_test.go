@@ -1,0 +1,48 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tb := New("Title", "bench", "cost")
+	tb.Add("prim1", "132539.75")
+	tb.Add("r3", "42")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Title", "bench", "cost", "prim1", "132539.75", "r3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Addf("x", 3.14159, 7)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "3.14") || strings.Contains(buf.String(), "3.14159") {
+		t.Errorf("float formatting wrong:\n%s", buf.String())
+	}
+	if tb.NumRows() != 1 {
+		t.Error("NumRows wrong")
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("only")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("row lost")
+	}
+}

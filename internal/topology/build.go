@@ -1,0 +1,217 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lubt/internal/geom"
+)
+
+// Builder assembles a binary topology over sinks 1…m by a sequence of
+// merges, the way every clustering-based clock-topology generator works
+// (nearest-neighbour merge [5], the generator of [9], recursive
+// bipartition). Cluster handles are node ids: sinks 1…m initially, merges
+// return new internal ids m+1, m+2, ….
+type Builder struct {
+	m      int
+	parent []int // temp parent per node id, −1 while a cluster is open
+	open   int   // clusters not yet merged
+}
+
+// NewBuilder starts a build over m ≥ 1 sinks.
+func NewBuilder(m int) *Builder {
+	if m < 1 {
+		panic("topology: Builder needs at least one sink")
+	}
+	b := &Builder{m: m, parent: make([]int, m+1), open: m}
+	for i := range b.parent {
+		b.parent[i] = -1
+	}
+	return b
+}
+
+// Merge joins two open clusters under a new internal node and returns its
+// id.
+func (b *Builder) Merge(x, y int) int {
+	b.check(x)
+	b.check(y)
+	if x == y {
+		panic("topology: merging a cluster with itself")
+	}
+	id := len(b.parent)
+	b.parent = append(b.parent, -1)
+	b.parent[x] = id
+	b.parent[y] = id
+	b.open--
+	return id
+}
+
+func (b *Builder) check(x int) {
+	if x <= 0 || x >= len(b.parent) || x == 0 {
+		panic(fmt.Sprintf("topology: bad cluster id %d", x))
+	}
+	if b.parent[x] != -1 {
+		panic(fmt.Sprintf("topology: cluster %d already merged", x))
+	}
+}
+
+// Finish produces the Tree. Exactly one open cluster (the top) must
+// remain. With rootIsSource, a distinct root node 0 (the source, whose
+// location is given) is attached above the top cluster and has degree one,
+// matching §3 of the paper; otherwise the top cluster itself becomes the
+// root node 0 (a Steiner point with two children whose location is free).
+func (b *Builder) Finish(rootIsSource bool) (*Tree, error) {
+	if b.open != 1 {
+		return nil, fmt.Errorf("topology: %d unmerged clusters at Finish", b.open)
+	}
+	top := -1
+	for i := 1; i < len(b.parent); i++ {
+		if b.parent[i] == -1 {
+			top = i
+			break
+		}
+	}
+	total := len(b.parent) // temp ids: 0 (reserved), 1…m sinks, m+1… internals
+	if rootIsSource {
+		// Temp node 0 becomes the source; the top cluster hangs below it.
+		parent := make([]int, total)
+		parent[0] = -1
+		for i := 1; i < total; i++ {
+			if i == top {
+				parent[i] = 0
+			} else {
+				parent[i] = b.parent[i]
+			}
+		}
+		return New(parent, b.m)
+	}
+	if top <= b.m {
+		return nil, fmt.Errorf("topology: a bare sink cannot be the root; need ≥ 2 sinks")
+	}
+	// Drop the reserved temp id 0 and rename the top internal node to 0;
+	// internals above it shift down by one.
+	parent := make([]int, total-1)
+	newID := func(tmp int) int {
+		if tmp == top {
+			return 0
+		}
+		if tmp > top {
+			return tmp - 1
+		}
+		return tmp
+	}
+	parent[0] = -1
+	for i := 1; i < total; i++ {
+		if i == top {
+			continue
+		}
+		parent[newID(i)] = newID(b.parent[i])
+	}
+	return New(parent, b.m)
+}
+
+// Balanced builds a binary topology by recursive geometric bipartition of
+// the sink locations: each cluster is split at the median of its wider
+// dimension. Deterministic and well-balanced; used as the topology when no
+// skew-guided generator is wanted. locs[i] is the location of sink i+1.
+func Balanced(locs []geom.Point, rootIsSource bool) (*Tree, error) {
+	m := len(locs)
+	if m < 1 || (m < 2 && !rootIsSource) {
+		return nil, fmt.Errorf("topology: Balanced needs ≥ 2 sinks (or ≥ 1 with a source)")
+	}
+	b := NewBuilder(m)
+	ids := make([]int, m)
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	var rec func(ids []int) int
+	rec = func(ids []int) int {
+		if len(ids) == 1 {
+			return ids[0]
+		}
+		xlo, ylo, xhi, yhi := boundsOf(locs, ids)
+		byX := xhi-xlo >= yhi-ylo
+		sort.Slice(ids, func(a, bn int) bool {
+			pa, pb := locs[ids[a]-1], locs[ids[bn]-1]
+			if byX {
+				if pa.X != pb.X {
+					return pa.X < pb.X
+				}
+				return pa.Y < pb.Y
+			}
+			if pa.Y != pb.Y {
+				return pa.Y < pb.Y
+			}
+			return pa.X < pb.X
+		})
+		mid := len(ids) / 2
+		l := rec(ids[:mid])
+		r := rec(ids[mid:])
+		return b.Merge(l, r)
+	}
+	rec(ids)
+	return b.Finish(rootIsSource)
+}
+
+func boundsOf(locs []geom.Point, ids []int) (xlo, ylo, xhi, yhi float64) {
+	pts := make([]geom.Point, len(ids))
+	for i, id := range ids {
+		pts[i] = locs[id-1]
+	}
+	return geom.BBox(pts)
+}
+
+// RandomBinary builds a uniformly random binary merge topology over m
+// sinks; used by property tests.
+func RandomBinary(rng *rand.Rand, m int, rootIsSource bool) (*Tree, error) {
+	if m < 1 || (m < 2 && !rootIsSource) {
+		return nil, fmt.Errorf("topology: RandomBinary needs ≥ 2 sinks (or ≥ 1 with a source)")
+	}
+	b := NewBuilder(m)
+	open := make([]int, m)
+	for i := range open {
+		open[i] = i + 1
+	}
+	for len(open) > 1 {
+		i := rng.Intn(len(open))
+		j := rng.Intn(len(open) - 1)
+		if j >= i {
+			j++
+		}
+		id := b.Merge(open[i], open[j])
+		// Remove the two merged clusters, add the new one.
+		if i < j {
+			i, j = j, i
+		}
+		open[i] = open[len(open)-1]
+		open = open[:len(open)-1]
+		open[j] = id
+	}
+	return b.Finish(rootIsSource)
+}
+
+// Star builds the topology with every sink directly under one internal
+// node (which is the root, or hangs under the source). High-degree by
+// construction; callers exercise SplitHighDegree with it.
+func Star(m int, rootIsSource bool) (*Tree, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("topology: Star needs ≥ 2 sinks")
+	}
+	if rootIsSource {
+		// 0 = source, m+1 = hub under the source, sinks under the hub.
+		parent := make([]int, m+2)
+		parent[0] = -1
+		parent[m+1] = 0
+		for i := 1; i <= m; i++ {
+			parent[i] = m + 1
+		}
+		return New(parent, m)
+	}
+	parent := make([]int, m+1)
+	parent[0] = -1
+	for i := 1; i <= m; i++ {
+		parent[i] = 0
+	}
+	return New(parent, m)
+}

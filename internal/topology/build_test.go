@@ -1,0 +1,228 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"lubt/internal/geom"
+)
+
+func TestBuilderSimple(t *testing.T) {
+	b := NewBuilder(3)
+	x := b.Merge(1, 2)
+	b.Merge(x, 3)
+	tree, err := b.Finish(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.N() != 5 || tree.NumSinks != 3 {
+		t.Fatalf("shape: %v", tree)
+	}
+	if !tree.AllSinksAreLeaves() {
+		t.Error("sinks not leaves")
+	}
+	if len(tree.Children(0)) != 2 {
+		t.Errorf("root children = %d, want 2", len(tree.Children(0)))
+	}
+}
+
+func TestBuilderWithSource(t *testing.T) {
+	b := NewBuilder(2)
+	b.Merge(1, 2)
+	tree, err := b.Finish(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Children(0)) != 1 {
+		t.Errorf("source degree = %d, want 1", len(tree.Children(0)))
+	}
+	if tree.N() != 4 {
+		t.Errorf("N = %d, want 4", tree.N())
+	}
+}
+
+func TestBuilderSingleSinkWithSource(t *testing.T) {
+	b := NewBuilder(1)
+	tree, err := b.Finish(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.N() != 2 || tree.Parent[1] != 0 {
+		t.Fatalf("single-sink tree wrong: %v", tree.Parent)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(3)
+	if _, err := b.Finish(false); err == nil {
+		t.Error("Finish with open clusters must fail")
+	}
+	b2 := NewBuilder(1)
+	if _, err := b2.Finish(false); err == nil {
+		t.Error("bare sink as root must fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on self-merge")
+			}
+		}()
+		NewBuilder(2).Merge(1, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on double merge")
+			}
+		}()
+		b := NewBuilder(3)
+		b.Merge(1, 2)
+		b.Merge(1, 3)
+	}()
+}
+
+func TestBalancedTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, m := range []int{2, 3, 7, 16, 33} {
+		locs := make([]geom.Point, m)
+		for i := range locs {
+			locs[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		for _, src := range []bool{false, true} {
+			tree, err := Balanced(locs, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.NumSinks != m || !tree.AllSinksAreLeaves() {
+				t.Fatalf("m=%d src=%v: bad tree %v", m, src, tree)
+			}
+			if tree.MaxDegree() > 3 {
+				t.Fatalf("m=%d: degree %d", m, tree.MaxDegree())
+			}
+			// A binary merge tree over m sinks has m−1 internal nodes
+			// (plus the source node when present).
+			want := 2*m - 1
+			if src {
+				want++
+			}
+			if tree.N() != want {
+				t.Fatalf("m=%d src=%v: N=%d want %d", m, src, tree.N(), want)
+			}
+		}
+	}
+}
+
+func TestBalancedRejectsTooFew(t *testing.T) {
+	if _, err := Balanced(nil, false); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := Balanced([]geom.Point{{}}, false); err == nil {
+		t.Error("expected error for one sink without source")
+	}
+	if _, err := Balanced([]geom.Point{{}}, true); err != nil {
+		t.Errorf("one sink with source should work: %v", err)
+	}
+}
+
+func TestRandomBinaryValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 100; trial++ {
+		m := 2 + rng.Intn(30)
+		src := rng.Intn(2) == 0
+		tree, err := RandomBinary(rng, m, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.NumSinks != m || !tree.AllSinksAreLeaves() || tree.MaxDegree() > 3 {
+			t.Fatalf("invalid random tree: %v", tree)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	tree, err := Star(5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.MaxDegree() != 5 {
+		t.Errorf("star degree = %d", tree.MaxDegree())
+	}
+	tree2, err := Star(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree2.Children(0)) != 1 || tree2.MaxDegree() != 5 {
+		t.Errorf("star-with-source shape wrong")
+	}
+	if _, err := Star(1, false); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSplitHighDegree(t *testing.T) {
+	tree, _ := Star(6, false)
+	split, err := tree.SplitHighDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.MaxDegree() > 3 {
+		t.Fatalf("split left degree %d", split.MaxDegree())
+	}
+	if split.NumSinks != 6 || !split.AllSinksAreLeaves() {
+		t.Fatal("split corrupted sinks")
+	}
+	// Forced-zero edges must connect only Steiner/root nodes.
+	forced := 0
+	for i := 1; i < split.N(); i++ {
+		if split.ForcedZero[i] {
+			forced++
+			if split.IsSink(i) {
+				t.Errorf("forced-zero edge %d attached to a sink", i)
+			}
+		}
+	}
+	if forced == 0 {
+		t.Error("no forced-zero edges created")
+	}
+	// Root keeps at most two children and every sink keeps its identity.
+	if len(split.Children(0)) > 2 {
+		t.Error("root still high degree")
+	}
+}
+
+func TestSplitNoopOnBinaryTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	tree, _ := RandomBinary(rng, 10, false)
+	split, err := tree.SplitHighDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split != tree {
+		t.Error("binary tree should be returned unchanged")
+	}
+}
+
+func TestSplitPreservesLeafPaths(t *testing.T) {
+	// Path sets between sinks must be preserved up to the inserted
+	// zero-length edges: with those edges at length zero, all pairwise
+	// path lengths are unchanged.
+	tree, _ := Star(7, true)
+	split, err := tree.SplitHighDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := make([]float64, tree.N())
+	for i := 1; i < tree.N(); i++ {
+		e[i] = float64(i)
+	}
+	es := make([]float64, split.N())
+	copy(es, e) // node ids preserved for original nodes; new edges zero
+	d, ds := tree.Delays(e), split.Delays(es)
+	for s := 1; s <= 7; s++ {
+		for r := s + 1; r <= 7; r++ {
+			if got, want := split.PathLength(s, r, ds), tree.PathLength(s, r, d); got != want {
+				t.Fatalf("pathlength(%d,%d): split %g, original %g", s, r, got, want)
+			}
+		}
+	}
+}

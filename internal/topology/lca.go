@@ -1,0 +1,67 @@
+package topology
+
+// buildSparse precomputes a sparse table over the Euler tour for O(1)
+// range-minimum queries, giving constant-time LCA. The EBF separation
+// oracle (§4.6 constraint reduction) issues O(m²) path-length queries per
+// round, so LCA speed matters.
+func (t *Tree) buildSparse() {
+	n := len(t.eulerDepth)
+	t.log2 = make([]int, n+1)
+	for i := 2; i <= n; i++ {
+		t.log2[i] = t.log2[i/2] + 1
+	}
+	levels := t.log2[n] + 1
+	t.sparse = make([][]int32, levels)
+	t.sparse[0] = make([]int32, n)
+	for i := 0; i < n; i++ {
+		t.sparse[0][i] = int32(i)
+	}
+	for k := 1; k < levels; k++ {
+		size := n - (1 << k) + 1
+		if size <= 0 {
+			break
+		}
+		t.sparse[k] = make([]int32, size)
+		prev := t.sparse[k-1]
+		half := 1 << (k - 1)
+		for i := 0; i < size; i++ {
+			a, b := prev[i], prev[i+half]
+			if t.eulerDepth[a] <= t.eulerDepth[b] {
+				t.sparse[k][i] = a
+			} else {
+				t.sparse[k][i] = b
+			}
+		}
+	}
+}
+
+// LCA returns the lowest common ancestor of nodes i and j.
+func (t *Tree) LCA(i, j int) int {
+	a, b := t.firstVisit[i], t.firstVisit[j]
+	if a > b {
+		a, b = b, a
+	}
+	k := t.log2[b-a+1]
+	x := t.sparse[k][a]
+	y := t.sparse[k][b-(1<<k)+1]
+	if t.eulerDepth[x] <= t.eulerDepth[y] {
+		return t.eulerNode[x]
+	}
+	return t.eulerNode[y]
+}
+
+// lcaNaive is the reference implementation used by tests.
+func (t *Tree) lcaNaive(i, j int) int {
+	seen := map[int]bool{}
+	for x := i; ; x = t.Parent[x] {
+		seen[x] = true
+		if x == 0 {
+			break
+		}
+	}
+	for x := j; ; x = t.Parent[x] {
+		if seen[x] {
+			return x
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickTree is a generatable random topology for testing/quick.
+type quickTree struct {
+	tree *Tree
+	e    []float64
+}
+
+// Generate implements quick.Generator.
+func (quickTree) Generate(r *rand.Rand, size int) reflect.Value {
+	m := 2 + r.Intn(max(2, size))
+	tree, err := RandomBinary(r, m, r.Intn(2) == 0)
+	if err != nil {
+		panic(err)
+	}
+	e := make([]float64, tree.N())
+	for i := 1; i < tree.N(); i++ {
+		e[i] = r.Float64() * 100
+	}
+	return reflect.ValueOf(quickTree{tree: tree, e: e})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Delay prefix sums are linear: Delays(α·e) = α·Delays(e).
+func TestQuickDelaysLinearity(t *testing.T) {
+	f := func(qt quickTree, alphaRaw uint8) bool {
+		alpha := float64(alphaRaw) / 16
+		scaled := make([]float64, len(qt.e))
+		for i, v := range qt.e {
+			scaled[i] = alpha * v
+		}
+		d1 := qt.tree.Delays(qt.e)
+		d2 := qt.tree.Delays(scaled)
+		for i := range d1 {
+			if math.Abs(d2[i]-alpha*d1[i]) > 1e-9*(1+math.Abs(alpha*d1[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// PathLength is a metric on tree nodes: symmetric, zero on the diagonal,
+// and satisfies the triangle inequality.
+func TestQuickPathLengthMetric(t *testing.T) {
+	f := func(qt quickTree, a, b, c uint16) bool {
+		n := qt.tree.N()
+		i, j, k := int(a)%n, int(b)%n, int(c)%n
+		d := qt.tree.Delays(qt.e)
+		pij := qt.tree.PathLength(i, j, d)
+		pji := qt.tree.PathLength(j, i, d)
+		pii := qt.tree.PathLength(i, i, d)
+		pik := qt.tree.PathLength(i, k, d)
+		pkj := qt.tree.PathLength(k, j, d)
+		return math.Abs(pij-pji) < 1e-9 &&
+			math.Abs(pii) < 1e-9 &&
+			pij <= pik+pkj+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The LCA of two nodes lies on both root paths, and is the deepest such
+// node.
+func TestQuickLCAOnBothPaths(t *testing.T) {
+	f := func(qt quickTree, a, b uint16) bool {
+		n := qt.tree.N()
+		i, j := int(a)%n, int(b)%n
+		l := qt.tree.LCA(i, j)
+		onPath := func(x, node int) bool {
+			for y := x; ; y = qt.tree.Parent[y] {
+				if y == node {
+					return true
+				}
+				if y == 0 {
+					return node == 0
+				}
+			}
+		}
+		if !onPath(i, l) || !onPath(j, l) {
+			return false
+		}
+		// No deeper common ancestor: the LCA's children cannot both be
+		// ancestors of i and j.
+		for _, c := range qt.tree.Children(l) {
+			if onPath(i, c) && onPath(j, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Postorder and preorder are permutations of the node set.
+func TestQuickTraversalsArePermutations(t *testing.T) {
+	f := func(qt quickTree) bool {
+		for _, order := range [][]int{qt.tree.Postorder(), qt.tree.Preorder()} {
+			if len(order) != qt.tree.N() {
+				return false
+			}
+			seen := make([]bool, qt.tree.N())
+			for _, n := range order {
+				if n < 0 || n >= qt.tree.N() || seen[n] {
+					return false
+				}
+				seen[n] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,52 @@
+package topology
+
+// SplitHighDegree returns an equivalent topology in which every node has
+// at most two children, inserting zero-length edges exactly as the
+// degree-4 Steiner split of Fig. 2 in the paper: a node with k > 2
+// children keeps its first child and delegates the remaining k−1 to a new
+// Steiner point attached through an edge whose length is fixed to zero,
+// recursively. Sink and root indices are preserved; new Steiner nodes are
+// appended. The conversion does not change the LUBT solution space
+// because the forced edges contribute nothing to any path.
+//
+// If the tree already satisfies the degree bound, the receiver is returned
+// unchanged.
+func (t *Tree) SplitHighDegree() (*Tree, error) {
+	needs := false
+	for i := 0; i < t.N(); i++ {
+		if len(t.children[i]) > 2 {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return t, nil
+	}
+	parent := append([]int(nil), t.Parent...)
+	forced := append([]bool(nil), t.ForcedZero...)
+	// children working copy.
+	kids := make([][]int, len(parent))
+	for i := range kids {
+		kids[i] = append([]int(nil), t.children[i]...)
+	}
+	for i := 0; i < len(kids); i++ { // len grows as nodes are appended
+		for len(kids[i]) > 2 {
+			// New Steiner node adopts all children but the first.
+			id := len(parent)
+			parent = append(parent, i)
+			forced = append(forced, true)
+			adopted := append([]int(nil), kids[i][1:]...)
+			kids[i] = []int{kids[i][0], id}
+			kids = append(kids, adopted)
+			for _, c := range adopted {
+				parent[c] = id
+			}
+		}
+	}
+	nt, err := New(parent, t.NumSinks)
+	if err != nil {
+		return nil, err
+	}
+	copy(nt.ForcedZero, forced)
+	return nt, nil
+}

@@ -1,0 +1,185 @@
+// Package wkld provides the benchmark workloads of the paper's evaluation:
+// prim1/prim2 (Jackson-Srinivasan-Kuh, MCNC) and r1–r5 (Tsay). The
+// original sink coordinates are not distributable and are unavailable
+// offline, so — per the substitution policy in DESIGN.md — this package
+// generates deterministic synthetic stand-ins with the published sink
+// counts, uniformly placed over a square die. Every generator is seeded by
+// the benchmark name, so all tables and tests see identical instances
+// across runs and machines.
+//
+// Scaled-down variants (suffix "-s", about a quarter of the sinks) keep
+// default test and benchmark wall times small; the full-size instances are
+// selected by the harness when LUBT_FULL=1.
+package wkld
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"lubt/internal/geom"
+)
+
+// Die is the synthetic die side length in routing units.
+const Die = 10000.0
+
+// published sink counts of the original benchmarks.
+var sinkCounts = map[string]int{
+	"prim1": 269,
+	"prim2": 603,
+	"r1":    267,
+	"r2":    598,
+	"r3":    862,
+	"r4":    1903,
+	"r5":    3101,
+}
+
+// Benchmark is one workload instance.
+type Benchmark struct {
+	Name  string
+	Sinks []geom.Point
+	// Source is the synthetic clock entry point (die edge midpoint, the
+	// usual pad position); the LUBT tables use it only where a fixed
+	// source is wanted.
+	Source geom.Point
+}
+
+// Names returns the available full-size benchmark names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(sinkCounts))
+	for n := range sinkCounts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate builds the named benchmark. A "-s" suffix selects the scaled
+// variant (¼ of the sinks, minimum 16).
+func Generate(name string) (*Benchmark, error) {
+	base := strings.TrimSuffix(name, "-s")
+	count, ok := sinkCounts[base]
+	if !ok {
+		return nil, fmt.Errorf("wkld: unknown benchmark %q (have %v)", name, Names())
+	}
+	if base != name {
+		count = count / 4
+		if count < 16 {
+			count = 16
+		}
+	}
+	return generate(name, count), nil
+}
+
+// MustGenerate is Generate for tests and benchmarks; it panics on error.
+func MustGenerate(name string) *Benchmark {
+	b, err := Generate(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func generate(name string, count int) *Benchmark {
+	rng := rand.New(rand.NewSource(seedOf(name)))
+	b := &Benchmark{
+		Name:   name,
+		Sinks:  make([]geom.Point, count),
+		Source: geom.Pt(Die/2, 0),
+	}
+	for i := range b.Sinks {
+		b.Sinks[i] = geom.Pt(rng.Float64()*Die, rng.Float64()*Die)
+	}
+	return b
+}
+
+// seedOf hashes the benchmark name into a deterministic seed (FNV-1a).
+func seedOf(name string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// Custom builds an ad-hoc uniform benchmark with the given sink count and
+// seed, for tests and sweeps.
+func Custom(name string, count int, seed int64) *Benchmark {
+	rng := rand.New(rand.NewSource(seed))
+	b := &Benchmark{
+		Name:   name,
+		Sinks:  make([]geom.Point, count),
+		Source: geom.Pt(Die/2, 0),
+	}
+	for i := range b.Sinks {
+		b.Sinks[i] = geom.Pt(rng.Float64()*Die, rng.Float64()*Die)
+	}
+	return b
+}
+
+// Write serializes a benchmark in the plain-text sink-list format:
+//
+//	# <name>
+//	source <x> <y>
+//	<x> <y>        (one line per sink)
+func (b *Benchmark) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", b.Name)
+	fmt.Fprintf(bw, "source %g %g\n", b.Source.X, b.Source.Y)
+	for _, s := range b.Sinks {
+		fmt.Fprintf(bw, "%g %g\n", s.X, s.Y)
+	}
+	return bw.Flush()
+}
+
+// Read parses the format emitted by Write. Comment lines and blank lines
+// are ignored; a missing source line leaves the zero point.
+func Read(r io.Reader) (*Benchmark, error) {
+	sc := bufio.NewScanner(r)
+	b := &Benchmark{Name: "unnamed"}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if name := strings.TrimSpace(strings.TrimPrefix(line, "#")); name != "" {
+				b.Name = name
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "source" {
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("wkld: line %d: malformed source line", lineNo)
+			}
+			var x, y float64
+			if _, err := fmt.Sscanf(fields[1]+" "+fields[2], "%g %g", &x, &y); err != nil {
+				return nil, fmt.Errorf("wkld: line %d: %v", lineNo, err)
+			}
+			b.Source = geom.Pt(x, y)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("wkld: line %d: expected \"x y\"", lineNo)
+		}
+		var x, y float64
+		if _, err := fmt.Sscanf(line, "%g %g", &x, &y); err != nil {
+			return nil, fmt.Errorf("wkld: line %d: %v", lineNo, err)
+		}
+		b.Sinks = append(b.Sinks, geom.Pt(x, y))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(b.Sinks) == 0 {
+		return nil, fmt.Errorf("wkld: no sinks in input")
+	}
+	return b, nil
+}

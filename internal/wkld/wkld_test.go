@@ -1,0 +1,119 @@
+package wkld
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateKnownNames(t *testing.T) {
+	for _, name := range Names() {
+		b, err := Generate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(b.Sinks) != sinkCounts[name] {
+			t.Errorf("%s: %d sinks, want %d", name, len(b.Sinks), sinkCounts[name])
+		}
+		for _, s := range b.Sinks {
+			if s.X < 0 || s.X > Die || s.Y < 0 || s.Y > Die {
+				t.Fatalf("%s: sink %v outside die", name, s)
+			}
+		}
+	}
+}
+
+func TestGenerateScaled(t *testing.T) {
+	b, err := Generate("prim1-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sinks) != 269/4 {
+		t.Errorf("prim1-s has %d sinks, want %d", len(b.Sinks), 269/4)
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate("r1")
+	b := MustGenerate("r1")
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	c := MustGenerate("r2")
+	same := true
+	for i := range c.Sinks[:len(a.Sinks)] {
+		if i < len(a.Sinks) && a.Sinks[i] != c.Sinks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different benchmarks produced identical prefixes")
+	}
+}
+
+func TestCustom(t *testing.T) {
+	b := Custom("mine", 42, 7)
+	if len(b.Sinks) != 42 || b.Name != "mine" {
+		t.Fatalf("Custom: %d sinks name %q", len(b.Sinks), b.Name)
+	}
+	if Custom("mine", 42, 7).Sinks[3] != b.Sinks[3] {
+		t.Error("Custom not deterministic")
+	}
+	if Custom("mine", 42, 8).Sinks[3] == b.Sinks[3] {
+		t.Error("seed ignored")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	b := MustGenerate("prim1-s")
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != b.Name || len(got.Sinks) != len(b.Sinks) || got.Source != b.Source {
+		t.Fatalf("round trip mismatch: %q %d sinks", got.Name, len(got.Sinks))
+	}
+	for i := range b.Sinks {
+		if got.Sinks[i] != b.Sinks[i] {
+			t.Fatalf("sink %d: %v vs %v", i, got.Sinks[i], b.Sinks[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                // no sinks
+		"source 1\n1 2\n", // malformed source
+		"1 2 3\n",         // too many fields
+		"a b\n",           // not numbers
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadTolerant(t *testing.T) {
+	in := "# myname\n\n  \nsource 5 5\n1 2\n3 4\n"
+	b, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "myname" || len(b.Sinks) != 2 || b.Source.X != 5 {
+		t.Fatalf("parsed %+v", b)
+	}
+}

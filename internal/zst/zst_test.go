@@ -1,0 +1,185 @@
+package zst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lubt/internal/delay"
+	"lubt/internal/embed"
+	"lubt/internal/geom"
+)
+
+func randSinks(rng *rand.Rand, m int) []geom.Point {
+	s := make([]geom.Point, m)
+	for i := range s {
+		s[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return s
+}
+
+func sinkSkew(res *Result) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 1; i <= res.Tree.NumSinks; i++ {
+		lo = math.Min(lo, res.Delays[i])
+		hi = math.Max(hi, res.Delays[i])
+	}
+	return hi - lo
+}
+
+func TestRouteExactZeroSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(20)
+		sinks := randSinks(rng, m)
+		caps := make([]float64, m+1)
+		for i := 1; i <= m; i++ {
+			caps[i] = rng.Float64() * 4
+		}
+		mdl := delay.Elmore{Rw: 0.05 + rng.Float64()*0.1, Cw: 0.05 + rng.Float64()*0.1, SinkCap: caps}
+		var source *geom.Point
+		if rng.Intn(2) == 0 {
+			s := geom.Pt(rng.Float64()*100, rng.Float64()*100)
+			source = &s
+		}
+		res, err := Route(sinks, mdl, source)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if skew := sinkSkew(res); skew > 1e-7*(1+res.Delay) {
+			t.Fatalf("trial %d: Elmore skew %g (delay %g)", trial, skew, res.Delay)
+		}
+		sinkLoc := make([]geom.Point, m+1)
+		copy(sinkLoc[1:], sinks)
+		if err := embed.VerifyPlacement(res.Tree, sinkLoc, source, res.E, res.Placement, 1e-5); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRouteTwoSinksTapping(t *testing.T) {
+	// Symmetric pair with equal loads: the tapping point splits the wire
+	// in half and both edges are d/2.
+	mdl := delay.Elmore{Rw: 1, Cw: 1, SinkCap: []float64{0, 2, 2}}
+	res, err := Route([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}, mdl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.E[1]-5) > 1e-9 || math.Abs(res.E[2]-5) > 1e-9 {
+		t.Fatalf("edges = %g, %g, want 5, 5", res.E[1], res.E[2])
+	}
+	if math.Abs(res.Cost-10) > 1e-9 {
+		t.Fatalf("cost = %g", res.Cost)
+	}
+}
+
+func TestRouteAsymmetricLoads(t *testing.T) {
+	// The heavier sink pulls the tapping point toward itself (shorter
+	// wire to the heavy load).
+	mdl := delay.Elmore{Rw: 1, Cw: 1, SinkCap: []float64{0, 10, 1}}
+	res, err := Route([]geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}, mdl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.E[1] >= res.E[2] {
+		t.Fatalf("heavy sink's wire %g should be shorter than light sink's %g", res.E[1], res.E[2])
+	}
+	if skew := sinkSkew(res); skew > 1e-9*(1+res.Delay) {
+		t.Fatalf("skew %g", skew)
+	}
+}
+
+func TestRouteElongationCase(t *testing.T) {
+	// Two heavily loaded sinks A, B merge into a slow subtree
+	// (t ≈ r·10·(c·5 + 1000)); the light pair C, D merges into a fast one.
+	// Even routing the entire 80-unit trunk on the fast side cannot match
+	// the slow subtree's delay, so the balance point falls outside the
+	// wire (x > 1) and the fast side must be snaked.
+	mdl := delay.Elmore{Rw: 1, Cw: 1, SinkCap: []float64{0, 1000, 1000, 0.1, 0.1}}
+	sinks := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(20, 0), // A, B (heavy)
+		geom.Pt(100, 0), geom.Pt(100.2, 0), // C, D (light)
+	}
+	res, err := Route(sinks, mdl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew := sinkSkew(res); skew > 1e-9*(1+res.Delay) {
+		t.Fatalf("skew %g", skew)
+	}
+	// Direct wiring would cost 0.2 + 20 + ~80; elongation must exceed it.
+	if res.Cost <= 101 {
+		t.Fatalf("expected elongation, cost %g", res.Cost)
+	}
+}
+
+func TestRouteSingleSink(t *testing.T) {
+	src := geom.Pt(0, 0)
+	mdl := delay.Elmore{Rw: 1, Cw: 1}
+	res, err := Route([]geom.Point{geom.Pt(3, 4)}, mdl, &src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-7) > 1e-9 {
+		t.Fatalf("cost = %g", res.Cost)
+	}
+	if _, err := Route([]geom.Point{geom.Pt(3, 4)}, mdl, nil); err == nil {
+		t.Error("single sink without source accepted")
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	mdl := delay.Elmore{Rw: 1, Cw: 1}
+	if _, err := Route(nil, mdl, nil); err == nil {
+		t.Error("no sinks accepted")
+	}
+	if _, err := Route(randSinks(rand.New(rand.NewSource(1)), 3), delay.Elmore{}, nil); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	sinks := randSinks(rng, 12)
+	mdl := delay.Elmore{Rw: 0.1, Cw: 0.1}
+	a, err := Route(sinks, mdl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Route(sinks, mdl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.Delay != b.Delay {
+		t.Fatal("Route not deterministic")
+	}
+}
+
+func TestElongationFormula(t *testing.T) {
+	mdl := delay.Elmore{Rw: 2, Cw: 3}
+	c := 5.0
+	dt := 40.0
+	l := elongation(mdl, dt, c)
+	got := mdl.Rw * l * (mdl.Cw*l/2 + c)
+	if math.Abs(got-dt) > 1e-9 {
+		t.Fatalf("elongation(%g) gives delay %g", dt, got)
+	}
+	if elongation(mdl, -1, c) != 0 || elongation(mdl, 0, c) != 0 {
+		t.Error("non-positive Δt must give zero elongation")
+	}
+}
+
+// With zero loads and uniform parasitics a symmetric two-sink merge must
+// tap at the exact midpoint whatever r_w, c_w are.
+func TestRouteMidpointInvariance(t *testing.T) {
+	for _, rc := range [][2]float64{{1, 1}, {0.03, 0.2}, {10, 0.001}} {
+		mdl := delay.Elmore{Rw: rc[0], Cw: rc[1]}
+		res, err := Route([]geom.Point{geom.Pt(0, 0), geom.Pt(8, 6)}, mdl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.E[1]-7) > 1e-9 || math.Abs(res.E[2]-7) > 1e-9 {
+			t.Fatalf("rw=%g cw=%g: edges %g, %g, want 7, 7", rc[0], rc[1], res.E[1], res.E[2])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package lubt
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// TreeJSON is the serializable form of a routed tree, stable across
+// versions: topology, edge lengths, embedded locations and the summary
+// statistics. Wire routes are emitted as polylines so downstream tooling
+// (visualizers, DRC scripts) needs no knowledge of the snaking rules.
+type TreeJSON struct {
+	NumSinks    int       `json:"num_sinks"`
+	Parent      []int     `json:"parent"`
+	EdgeLengths []float64 `json:"edge_lengths"`
+	Locations   []Point   `json:"locations"`
+	Routes      [][]Point `json:"routes"`
+	SinkDelays  []float64 `json:"sink_delays"`
+	Cost        float64   `json:"cost"`
+	MinDelay    float64   `json:"min_delay"`
+	MaxDelay    float64   `json:"max_delay"`
+	Skew        float64   `json:"skew"`
+	Elongation  []float64 `json:"elongation"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(TreeJSON{
+		NumSinks:    t.NumSinks,
+		Parent:      t.Parent,
+		EdgeLengths: t.EdgeLengths,
+		Locations:   t.Locations,
+		Routes:      t.Routes(),
+		SinkDelays:  t.SinkDelays,
+		Cost:        t.Cost,
+		MinDelay:    t.MinDelay,
+		MaxDelay:    t.MaxDelay,
+		Skew:        t.Skew,
+		Elongation:  t.Elongation,
+	})
+}
+
+// WriteJSON writes the tree as indented JSON.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,59 @@
+// Package workloads exposes the benchmark instances used throughout the
+// repository — deterministic synthetic stand-ins for the prim1/prim2
+// (MCNC) and r1–r5 (Tsay) clock benchmarks of the paper's evaluation —
+// through the public lubt types. See DESIGN.md for why stand-ins are used
+// and what they preserve.
+package workloads
+
+import (
+	"lubt"
+	"lubt/internal/wkld"
+)
+
+// Instance is a named benchmark: sink locations plus the synthetic clock
+// source pad.
+type Instance struct {
+	Name   string
+	Sinks  []lubt.Point
+	Source lubt.Point
+}
+
+// Names lists the available full-size benchmarks; append "-s" to any name
+// for the scaled variant.
+func Names() []string { return wkld.Names() }
+
+// Load builds the named benchmark ("prim1", "r3-s", …).
+func Load(name string) (*Instance, error) {
+	b, err := wkld.Generate(name)
+	if err != nil {
+		return nil, err
+	}
+	return convert(b), nil
+}
+
+// MustLoad is Load for examples and tests; it panics on error.
+func MustLoad(name string) *Instance {
+	in, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Custom builds an ad-hoc uniform instance with the given sink count and
+// seed.
+func Custom(name string, count int, seed int64) *Instance {
+	return convert(wkld.Custom(name, count, seed))
+}
+
+func convert(b *wkld.Benchmark) *Instance {
+	in := &Instance{
+		Name:   b.Name,
+		Sinks:  make([]lubt.Point, len(b.Sinks)),
+		Source: lubt.Point{X: b.Source.X, Y: b.Source.Y},
+	}
+	for i, s := range b.Sinks {
+		in.Sinks[i] = lubt.Point{X: s.X, Y: s.Y}
+	}
+	return in
+}

@@ -1,0 +1,35 @@
+package workloads
+
+import "testing"
+
+func TestLoad(t *testing.T) {
+	in, err := Load("prim1-s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Name != "prim1-s" || len(in.Sinks) != 269/4 {
+		t.Fatalf("loaded %q with %d sinks", in.Name, len(in.Sinks))
+	}
+	if _, err := Load("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestMustLoadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustLoad("bogus")
+}
+
+func TestCustomAndNames(t *testing.T) {
+	if len(Names()) != 7 {
+		t.Errorf("Names = %v", Names())
+	}
+	c := Custom("x", 10, 1)
+	if len(c.Sinks) != 10 {
+		t.Error("Custom size wrong")
+	}
+}
