@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 verification gate: vet, build, then the full test suite under the
+# race detector (the separation oracle and the experiments harness are the
+# concurrent parts). Run from the repo root; see README "Install / build".
+set -eu
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "ci: ok"

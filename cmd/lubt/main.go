@@ -6,6 +6,7 @@
 //
 //	lubt -in sinks.txt -lower 0.8 -upper 1.2 [-skew-topology 0.4]
 //	     [-normalized] [-use-source] [-solver simplex|ipm] [-svg out.svg]
+//	     [-stats]
 //
 // The input format is the one emitted by gensinks: one "x y" pair per
 // line, optional "source x y" line, "#" comments. With -normalized,
@@ -33,25 +34,44 @@ func main() {
 		normalized = flag.Bool("normalized", false, "interpret bounds as multiples of the radius")
 		useSource  = flag.Bool("use-source", false, "pin the source to the file's source line")
 		skewTopo   = flag.Float64("skew-topology", math.Inf(1), "skew bound guiding the topology generator")
-		solver     = flag.String("solver", "simplex", "LP solver: simplex, coldsimplex or ipm")
+		solver     = flag.String("solver", "simplex", "LP solver: simplex, densesimplex, coldsimplex or ipm")
 		svgPath    = flag.String("svg", "", "write the routed tree as SVG to this file")
 		jsonPath   = flag.String("json", "", "write the routed tree as JSON to this file")
 		boundsPath = flag.String("bounds", "", "per-sink bounds file (one \"l u\" line per sink, overrides -lower/-upper)")
+		stats      = flag.Bool("stats", false, "print LP engine statistics (pivots, rounds, fill-in, timings)")
 	)
 	flag.Parse()
-	if err := run(*inPath, *lower, *upper, *normalized, *useSource, *skewTopo, *solver, *svgPath, *jsonPath, *boundsPath); err != nil {
+	cfg := runConfig{
+		inPath: *inPath, lower: *lower, upper: *upper,
+		normalized: *normalized, useSource: *useSource, skewTopo: *skewTopo,
+		solver: *solver, svgPath: *svgPath, jsonPath: *jsonPath,
+		boundsPath: *boundsPath, showStats: *stats,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lubt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(inPath string, lower, upper float64, normalized, useSource bool, skewTopo float64, solver, svgPath, jsonPath, boundsPath string) error {
+// runConfig carries the parsed flags into run.
+type runConfig struct {
+	inPath                string
+	lower, upper          float64
+	normalized, useSource bool
+	skewTopo              float64
+	solver                string
+	svgPath, jsonPath     string
+	boundsPath            string
+	showStats             bool
+}
+
+func run(cfg runConfig) error {
 	var bench *wkld.Benchmark
 	var err error
-	if inPath == "" {
+	if cfg.inPath == "" {
 		bench, err = wkld.Read(os.Stdin)
 	} else {
-		f, ferr := os.Open(inPath)
+		f, ferr := os.Open(cfg.inPath)
 		if ferr != nil {
 			return ferr
 		}
@@ -70,25 +90,25 @@ func run(inPath string, lower, upper float64, normalized, useSource bool, skewTo
 	if err != nil {
 		return err
 	}
-	if useSource {
+	if cfg.useSource {
 		inst.SetSource(lubt.Point{X: bench.Source.X, Y: bench.Source.Y})
 	}
-	if err := inst.UseSkewGuidedTopology(scaleBound(skewTopo, inst.Radius(), normalized)); err != nil {
+	if err := inst.UseSkewGuidedTopology(scaleBound(cfg.skewTopo, inst.Radius(), cfg.normalized)); err != nil {
 		return err
 	}
 	r := inst.Radius()
 	scale := 1.0
-	if normalized {
+	if cfg.normalized {
 		scale = r
 	}
 	var bounds lubt.Bounds
-	l, u := lower*scale, upper
+	l, u := cfg.lower*scale, cfg.upper
 	if !math.IsInf(u, 1) {
 		u *= scale
 	}
-	if boundsPath != "" {
+	if cfg.boundsPath != "" {
 		var err error
-		bounds, err = readBounds(boundsPath, len(sinks), scale)
+		bounds, err = readBounds(cfg.boundsPath, len(sinks), scale)
 		if err != nil {
 			return err
 		}
@@ -100,7 +120,7 @@ func run(inPath string, lower, upper float64, normalized, useSource bool, skewTo
 	} else {
 		bounds = lubt.Uniform(len(sinks), l, u)
 	}
-	tree, err := inst.Solve(bounds, &lubt.Options{Solver: solver})
+	tree, err := inst.Solve(bounds, &lubt.Options{Solver: cfg.solver})
 	if err != nil {
 		return err
 	}
@@ -113,8 +133,12 @@ func run(inPath string, lower, upper float64, normalized, useSource bool, skewTo
 	fmt.Printf("cost       %.2f\n", tree.Cost)
 	fmt.Printf("delays     [%.2f, %.2f]  skew %.2f\n", tree.MinDelay, tree.MaxDelay, tree.Skew)
 	fmt.Printf("elongation %.2f\n", tree.TotalElongation())
-	if svgPath != "" {
-		f, err := os.Create(svgPath)
+	if cfg.showStats {
+		fmt.Println("--- lp stats ---")
+		fmt.Println(tree.Stats)
+	}
+	if cfg.svgPath != "" {
+		f, err := os.Create(cfg.svgPath)
 		if err != nil {
 			return err
 		}
@@ -122,10 +146,10 @@ func run(inPath string, lower, upper float64, normalized, useSource bool, skewTo
 		if err := tree.WriteSVG(f); err != nil {
 			return err
 		}
-		fmt.Printf("svg        %s\n", svgPath)
+		fmt.Printf("svg        %s\n", cfg.svgPath)
 	}
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+	if cfg.jsonPath != "" {
+		f, err := os.Create(cfg.jsonPath)
 		if err != nil {
 			return err
 		}
@@ -133,7 +157,7 @@ func run(inPath string, lower, upper float64, normalized, useSource bool, skewTo
 		if err := tree.WriteJSON(f); err != nil {
 			return err
 		}
-		fmt.Printf("json       %s\n", jsonPath)
+		fmt.Printf("json       %s\n", cfg.jsonPath)
 	}
 	return nil
 }

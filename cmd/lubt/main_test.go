@@ -30,7 +30,9 @@ func TestRunUniformBounds(t *testing.T) {
 	in := writeSinks(t, dir, 10)
 	svg := filepath.Join(dir, "out.svg")
 	jsonOut := filepath.Join(dir, "out.json")
-	err := run(in, 0.8, 1.3, true, true, 0.5, "simplex", svg, jsonOut, "")
+	err := run(runConfig{inPath: in, lower: 0.8, upper: 1.3, normalized: true,
+		useSource: true, skewTopo: 0.5, solver: "simplex",
+		svgPath: svg, jsonPath: jsonOut, showStats: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +56,8 @@ func TestRunPerSinkBounds(t *testing.T) {
 	if err := os.WriteFile(boundsPath, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, 0, math.Inf(1), true, true, math.Inf(1), "simplex", "", "", boundsPath); err != nil {
+	if err := run(runConfig{inPath: in, lower: 0, upper: math.Inf(1), normalized: true,
+		useSource: true, skewTopo: math.Inf(1), solver: "simplex", boundsPath: boundsPath}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -62,26 +65,31 @@ func TestRunPerSinkBounds(t *testing.T) {
 func TestRunBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	in := writeSinks(t, dir, 4)
-	if err := run(filepath.Join(dir, "missing.txt"), 0, 1, false, false, math.Inf(1), "simplex", "", "", ""); err == nil {
+	if err := run(runConfig{inPath: filepath.Join(dir, "missing.txt"), upper: 1,
+		skewTopo: math.Inf(1), solver: "simplex"}); err == nil {
 		t.Error("missing input accepted")
 	}
-	if err := run(in, 0, math.Inf(1), false, false, math.Inf(1), "bogus", "", "", ""); err == nil {
+	if err := run(runConfig{inPath: in, upper: math.Inf(1),
+		skewTopo: math.Inf(1), solver: "bogus"}); err == nil {
 		t.Error("bad solver accepted")
 	}
 	// Infeasible window: upper bound below the radius (normalized 0.5).
-	if err := run(in, 0, 0.5, true, true, math.Inf(1), "simplex", "", "", ""); err == nil {
+	if err := run(runConfig{inPath: in, upper: 0.5, normalized: true, useSource: true,
+		skewTopo: math.Inf(1), solver: "simplex"}); err == nil {
 		t.Error("infeasible window accepted")
 	}
 	// Bounds file with wrong line count.
 	boundsPath := filepath.Join(dir, "bounds.txt")
 	os.WriteFile(boundsPath, []byte("0 inf\n"), 0o644)
-	if err := run(in, 0, math.Inf(1), false, false, math.Inf(1), "simplex", "", "", boundsPath); err == nil {
+	if err := run(runConfig{inPath: in, upper: math.Inf(1),
+		skewTopo: math.Inf(1), solver: "simplex", boundsPath: boundsPath}); err == nil {
 		t.Error("short bounds file accepted")
 	}
 	// Malformed bounds lines.
 	for _, bad := range []string{"x y\n0 inf\n0 inf\n0 inf\n", "1\n2 3\n4 5\n6 7\n"} {
 		os.WriteFile(boundsPath, []byte(bad), 0o644)
-		if err := run(in, 0, math.Inf(1), false, false, math.Inf(1), "simplex", "", "", boundsPath); err == nil {
+		if err := run(runConfig{inPath: in, upper: math.Inf(1),
+			skewTopo: math.Inf(1), solver: "simplex", boundsPath: boundsPath}); err == nil {
 			t.Errorf("malformed bounds %q accepted", bad)
 		}
 	}

@@ -9,6 +9,7 @@
 //	lubtbench -table 1     # just Table 1
 //	lubtbench -figure 8    # just the Figure 8 curve
 //	lubtbench -full        # full-size instances
+//	lubtbench -stats       # LP engine statistics, revised vs dense
 package main
 
 import (
@@ -24,16 +25,25 @@ func main() {
 		tableN  = flag.Int("table", 0, "run only this table (1, 2 or 3)")
 		figureN = flag.Int("figure", 0, "run only this figure (8)")
 		full    = flag.Bool("full", false, "use full-size benchmark instances")
+		stats   = flag.Bool("stats", false, "print LP engine statistics (revised vs dense) instead of the tables")
 	)
 	flag.Parse()
-	if err := run(*tableN, *figureN, *full); err != nil {
+	if err := run(*tableN, *figureN, *full, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "lubtbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableN, figureN int, full bool) error {
+func run(tableN, figureN int, full, stats bool) error {
 	benches := experiments.TableBenches(full)
+	if stats {
+		t, err := experiments.EngineStats(benches)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		return nil
+	}
 	all := tableN == 0 && figureN == 0
 	if tableN == 1 || all {
 		rows, err := experiments.Table1(benches, experiments.Skews1)

@@ -5,16 +5,22 @@ import "testing"
 func TestRunSingleExhibits(t *testing.T) {
 	// Table 2 on scaled benches is the fastest full exhibit; the heavier
 	// ones are exercised by bench_test.go and the experiments package.
-	if err := run(2, 0, false); err != nil {
+	if err := run(2, 0, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run(7, 0, false); err == nil {
+	if err := run(7, 0, false, false); err == nil {
 		t.Error("unknown table accepted")
 	}
-	if err := run(0, 3, false); err == nil {
+	if err := run(0, 3, false, false); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunEngineStats(t *testing.T) {
+	if err := run(0, 0, false, true); err != nil {
+		t.Fatal(err)
 	}
 }

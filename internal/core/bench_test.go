@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"lubt/internal/bst"
+	"lubt/internal/geom"
+	"lubt/internal/wkld"
+)
+
+// benchInstance routes the named workload with the [9]-style baseline at
+// skew bound 0.1·radius and wraps it as a core instance with the paper's
+// tolerable-skew window (same methodology as internal/experiments).
+func benchInstance(tb testing.TB, name string) (*Instance, Bounds) {
+	tb.Helper()
+	b, err := wkld.Generate(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	radius := 0.0
+	for _, s := range b.Sinks {
+		radius = math.Max(radius, geom.Dist(b.Source, s))
+	}
+	base, err := bst.Route(b.Sinks, 0.1*radius, &b.Source)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	in := &Instance{
+		Tree:    base.Tree,
+		SinkLoc: make([]geom.Point, len(b.Sinks)+1),
+		Source:  &b.Source,
+	}
+	copy(in.SinkLoc[1:], b.Sinks)
+	u := base.Stats.Max
+	l := math.Max(0, u-0.1*radius)
+	m := base.Tree.NumSinks
+	cb := Bounds{L: make([]float64, m+1), U: make([]float64, m+1)}
+	for i := 1; i <= m; i++ {
+		cb.L[i] = l
+		cb.U[i] = u
+	}
+	return in, cb
+}
+
+// BenchmarkWarmResolve times the full §4.6 row-generation loop — the
+// repeated warm re-solves after each cutting-plane batch — on prim2-s,
+// once per engine. This is the headline comparison for the revised
+// dual-simplex engine versus the dense-tableau ablation.
+func BenchmarkWarmResolve(b *testing.B) {
+	in, cb := benchInstance(b, "prim2-s")
+	for _, eng := range []string{"revised", "dense"} {
+		b.Run(eng, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(in, cb, &Options{Engine: eng})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds == 0 {
+					b.Fatal("no row-generation rounds")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeparationOracle times one full violated-pair scan over the
+// optimal edge vector of prim2-s, serial versus the striped worker pool.
+func BenchmarkSeparationOracle(b *testing.B) {
+	in, cb := benchInstance(b, "prim2-s")
+	res, err := Solve(in, cb, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Shrink the edges slightly so the scan finds work to report instead
+	// of exiting on the first comparison.
+	e := make([]float64, len(res.E))
+	for i, v := range res.E {
+		e[i] = 0.95 * v
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"pool", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := violatedPairsN(in, e, 1e-9, 64, bc.workers); len(got) == 0 {
+					b.Fatal("oracle found nothing")
+				}
+			}
+		})
+	}
+}

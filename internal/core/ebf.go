@@ -3,15 +3,28 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"lubt/internal/lp"
 )
 
 // Options tune the EBF solve.
 type Options struct {
-	// Solver defaults to the two-phase simplex.
+	// Solver selects an explicit cold solver (two-phase simplex or the
+	// interior-point method); each row-generation round then re-solves the
+	// whole LP from scratch. Nil (the default) picks an incremental warm
+	// engine instead, chosen by Engine.
 	Solver lp.Solver
+	// Engine selects the incremental engine used when Solver is nil:
+	// "" or "revised" is the sparse revised dual simplex (the default),
+	// "dense" or "densesimplex" the dense-tableau ablation engine.
+	Engine string
+	// OracleWorkers bounds the separation-oracle worker pool; 0 means
+	// GOMAXPROCS. The oracle's output is deterministic regardless.
+	OracleWorkers int
 	// Weights is the per-edge objective weight w_k (§7 "different weights
 	// on edges"), indexed by edge; nil means all ones. Entry 0 is unused.
 	Weights []float64
@@ -28,11 +41,24 @@ type Options struct {
 	Tol float64
 }
 
-func (o *Options) solver() lp.Solver {
+// engine builds the RowEngine the row-generation loop runs on: a warm
+// incremental engine by default, or a cold adapter around the explicit
+// solver for cross-checking and ablation.
+func (o *Options) engine(n int, w []float64) (lp.RowEngine, error) {
 	if o != nil && o.Solver != nil {
-		return o.Solver
+		return newColdEngine(n, w, o.Solver), nil
 	}
-	return &lp.Simplex{}
+	name := ""
+	if o != nil {
+		name = o.Engine
+	}
+	switch name {
+	case "", "revised":
+		return lp.NewRevised(n, w), nil
+	case "dense", "densesimplex":
+		return lp.NewIncremental(n, w), nil
+	}
+	return nil, fmt.Errorf("core: unknown LP engine %q", name)
 }
 
 func (o *Options) weights(n int) []float64 {
@@ -64,27 +90,30 @@ type Result struct {
 	RowsUsed int
 	// LPIterations accumulates simplex/IPM iterations across rounds.
 	LPIterations int
+	// Stats is the unified observability record: engine counters (pivots,
+	// refactorizations, basis size, fill-in) plus row-generation fields
+	// (rounds, per-round violated counts, separation and solve wall time).
+	Stats lp.Stats
 }
 
 // Solve computes the minimum-cost LUBT edge lengths for the instance and
 // bounds (Theorem 4.2). It returns ErrInfeasible when no tree satisfies
 // the bounds under the given topology.
 //
-// With the default solver (Options.Solver nil) the row-generation loop
-// runs on an incremental dual-simplex engine that warm-starts from the
-// previous basis after each batch of violated Steiner rows — the fast
-// realization of the §4.6 constraint reduction. Passing an explicit
-// solver (cold simplex or the interior-point method) re-solves each round
-// from scratch; that path exists for cross-checking and ablation.
+// By default (Options.Solver nil) the row-generation loop runs on the
+// sparse revised dual-simplex engine, which warm-starts from the previous
+// basis after each batch of violated Steiner rows — the fast realization
+// of the §4.6 constraint reduction. Options.Engine selects the dense
+// tableau engine instead for ablation; passing an explicit Solver (cold
+// simplex or the interior-point method) re-solves each round from
+// scratch for cross-checking. All paths share this one loop, written
+// against lp.RowEngine.
 func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	if err := b.Validate(in); err != nil {
 		return nil, err
-	}
-	if opt == nil || opt.Solver == nil {
-		return solveIncremental(in, b, opt)
 	}
 	t := in.Tree
 	n := t.N() // LP variables: edges 1…n−1 mapped to columns 1…n−1 (column 0 unused but harmless)
@@ -107,8 +136,38 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 		tol = opt.Tol
 	}
 	tol *= math.Max(1, in.Radius())
+	workers := 0
+	if opt != nil {
+		workers = opt.OracleWorkers
+	}
+	w := opt.weights(n)
 
-	base := newBaseProblem(in, opt.weights(n), b)
+	eng, err := opt.engine(n, w)
+	if err != nil {
+		return nil, err
+	}
+	// Forced-zero edges from degree splitting, then the delay rows (§4.2).
+	for k := 1; k < n; k++ {
+		if t.ForcedZero[k] {
+			eng.AddRow([]lp.Term{{Var: k, Coef: 1}}, lp.EQ, 0)
+		}
+	}
+	for i := 1; i <= t.NumSinks; i++ {
+		path := unitTermsOf(t.PathToRoot(i))
+		l, u := b.L[i], b.U[i]
+		switch {
+		case l == u:
+			eng.AddRow(path, lp.EQ, l)
+		default:
+			if l > 0 {
+				eng.AddRow(path, lp.GE, l)
+			}
+			if !math.IsInf(u, 1) {
+				eng.AddRow(path, lp.LE, u)
+			}
+		}
+	}
+
 	type pairKey struct{ i, j int }
 	have := map[pairKey]bool{}
 	addPair := func(i, j int) {
@@ -120,9 +179,8 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 			return
 		}
 		have[k] = true
-		base.addSteinerRow(in, i, j)
+		eng.AddRow(unitTermsOf(t.Path(i, j)), lp.GE, in.Dist(i, j))
 	}
-
 	full := opt != nil && opt.FullMatrix
 	if full {
 		for i := 1; i <= t.NumSinks; i++ {
@@ -142,12 +200,15 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 	}
 
 	res := &Result{}
-	solver := opt.solver()
+	var violByRound []int
+	var solveTime, sepTime time.Duration
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, fmt.Errorf("core: row generation did not converge in %d rounds", maxRounds)
 		}
-		sol, err := solver.Solve(base.p)
+		t0 := time.Now()
+		sol, err := eng.Solve()
+		solveTime += time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("core: LP solve failed: %w", err)
 		}
@@ -161,16 +222,25 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 			return nil, fmt.Errorf("core: LP returned %v", sol.Status)
 		}
 		res.Rounds = round + 1
-		res.LPIterations += sol.Iterations
+		res.LPIterations = eng.Iterations()
 
 		e := make([]float64, n)
 		copy(e[1:], sol.X[1:n])
-		viol := violatedPairs(in, e, tol, batch)
+		t1 := time.Now()
+		viol := violatedPairsN(in, e, tol, batch, workers)
+		sepTime += time.Since(t1)
+		violByRound = append(violByRound, len(viol))
 		if len(viol) == 0 || full {
 			res.E = e
 			res.Delays = t.Delays(e)
-			res.Cost = weightedCost(opt.weights(n), e)
+			res.Cost = weightedCost(w, e)
 			res.RowsUsed = len(have)
+			st := eng.Stats()
+			st.Rounds = res.Rounds
+			st.ViolatedByRound = violByRound
+			st.SolveTime = solveTime
+			st.SeparationTime = sepTime
+			res.Stats = st
 			return res, nil
 		}
 		for _, pr := range viol {
@@ -179,118 +249,60 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 	}
 }
 
-// solveIncremental is the default Solve path: all rows live in one
-// incremental dual-simplex engine and violated Steiner rows are appended
-// between warm re-solves.
-func solveIncremental(in *Instance, b Bounds, opt *Options) (*Result, error) {
-	t := in.Tree
-	n := t.N()
-	maxRounds := 200
-	if opt != nil && opt.MaxRounds > 0 {
-		maxRounds = opt.MaxRounds
-	}
-	batch := 0
-	if opt != nil {
-		batch = opt.Batch
-	}
-	if batch == 0 {
-		batch = t.NumSinks
-		if batch < 64 {
-			batch = 64
-		}
-	}
-	tol := 1e-7
-	if opt != nil && opt.Tol > 0 {
-		tol = opt.Tol
-	}
-	tol *= math.Max(1, in.Radius())
-	w := opt.weights(n)
+// coldEngine adapts an explicit lp.Solver to the RowEngine interface: rows
+// accumulate in one Problem and every Solve re-optimizes it from scratch.
+// It exists for cross-checking the warm engines against the cold simplex
+// and the interior-point method.
+type coldEngine struct {
+	p           *lp.Problem
+	solver      lp.Solver
+	iterations  int
+	logicalRows int
+	tableauRows int
+}
 
-	inc := lp.NewIncremental(n, w)
+func newColdEngine(n int, w []float64, solver lp.Solver) *coldEngine {
+	p := lp.NewProblem(n)
 	for k := 1; k < n; k++ {
-		if t.ForcedZero[k] {
-			inc.AddRow([]lp.Term{{Var: k, Coef: 1}}, lp.LE, 0)
-		}
+		p.SetCost(k, w[k])
 	}
-	for i := 1; i <= t.NumSinks; i++ {
-		path := unitTermsOf(t.PathToRoot(i))
-		l, u := b.L[i], b.U[i]
-		if l == u {
-			inc.AddRow(path, lp.EQ, l)
-			continue
-		}
-		if l > 0 {
-			inc.AddRow(path, lp.GE, l)
-		}
-		if !math.IsInf(u, 1) {
-			inc.AddRow(path, lp.LE, u)
-		}
-	}
+	// Variable 0 is a dummy (edges are 1-indexed); pin it to zero so the
+	// interior-point method never sees a dangling column.
+	p.AddSumEQ([]int{0}, 0, "dummy")
+	return &coldEngine{p: p, solver: solver}
+}
 
-	type pairKey struct{ i, j int }
-	have := map[pairKey]bool{}
-	addPair := func(i, j int) {
-		if i > j {
-			i, j = j, i
-		}
-		k := pairKey{i, j}
-		if have[k] {
-			return
-		}
-		have[k] = true
-		inc.AddRow(unitTermsOf(t.Path(i, j)), lp.GE, in.Dist(i, j))
+func (ce *coldEngine) AddRow(terms []lp.Term, op lp.Op, rhs float64) {
+	ce.logicalRows++
+	ce.tableauRows++
+	if op == lp.EQ {
+		ce.tableauRows++
 	}
-	full := opt != nil && opt.FullMatrix
-	if full {
-		for i := 1; i <= t.NumSinks; i++ {
-			for j := i + 1; j <= t.NumSinks; j++ {
-				addPair(i, j)
-			}
-		}
-		if in.Source != nil {
-			for i := 1; i <= t.NumSinks; i++ {
-				addPair(0, i)
-			}
-		}
-	} else {
-		for _, pr := range seedPairs(in) {
-			addPair(pr[0], pr[1])
-		}
-	}
+	ce.p.AddConstraint(terms, op, rhs, "")
+}
 
-	res := &Result{}
-	for round := 0; ; round++ {
-		if round >= maxRounds {
-			return nil, fmt.Errorf("core: row generation did not converge in %d rounds", maxRounds)
-		}
-		sol, err := inc.Solve()
-		if err != nil {
-			return nil, fmt.Errorf("core: LP solve failed: %w", err)
-		}
-		switch sol.Status {
-		case lp.Optimal:
-		case lp.Infeasible:
-			return nil, fmt.Errorf("%w (LP infeasible after %d rounds)", ErrInfeasible, round)
-		default:
-			return nil, fmt.Errorf("core: LP returned %v", sol.Status)
-		}
-		res.Rounds = round + 1
-		res.LPIterations = inc.Iterations()
-
-		e := make([]float64, n)
-		copy(e[1:], sol.X[1:n])
-		viol := violatedPairs(in, e, tol, batch)
-		if len(viol) == 0 || full {
-			res.E = e
-			res.Delays = t.Delays(e)
-			res.Cost = weightedCost(w, e)
-			res.RowsUsed = len(have)
-			return res, nil
-		}
-		for _, pr := range viol {
-			addPair(pr[0], pr[1])
-		}
+func (ce *coldEngine) Solve() (*lp.Solution, error) {
+	sol, err := ce.solver.Solve(ce.p)
+	if sol != nil {
+		ce.iterations += sol.Iterations
 	}
+	return sol, err
+}
+
+func (ce *coldEngine) NumRows() int     { return ce.logicalRows }
+func (ce *coldEngine) TableauRows() int { return ce.tableauRows }
+func (ce *coldEngine) Iterations() int  { return ce.iterations }
+
+func (ce *coldEngine) Stats() lp.Stats {
+	st := lp.Stats{
+		Pivots:      ce.iterations,
+		LogicalRows: ce.logicalRows,
+		TableauRows: ce.tableauRows,
+	}
+	for _, c := range ce.p.Cons {
+		st.RowNonzeros += len(c.Terms)
+	}
+	return st
 }
 
 func unitTermsOf(vars []int) []lp.Term {
@@ -299,52 +311,6 @@ func unitTermsOf(vars []int) []lp.Term {
 		ts[i] = lp.Term{Var: v, Coef: 1}
 	}
 	return ts
-}
-
-// baseProblem wraps the growing LP.
-type baseProblem struct {
-	p *lp.Problem
-}
-
-// newBaseProblem states the objective, the delay rows (§4.2) and the
-// forced-zero rows from degree splitting. Edge k is LP variable k.
-func newBaseProblem(in *Instance, w []float64, b Bounds) *baseProblem {
-	t := in.Tree
-	n := t.N()
-	p := lp.NewProblem(n)
-	for k := 1; k < n; k++ {
-		p.SetCost(k, w[k])
-	}
-	// Variable 0 is a dummy (edges are 1-indexed); pin it to zero.
-	p.AddSumEQ([]int{0}, 0, "dummy")
-	for k := 1; k < n; k++ {
-		if t.ForcedZero[k] {
-			p.AddSumEQ([]int{k}, 0, fmt.Sprintf("zero e%d", k))
-		}
-	}
-	for i := 1; i <= t.NumSinks; i++ {
-		path := t.PathToRoot(i)
-		l, u := b.L[i], b.U[i]
-		switch {
-		case l == u:
-			p.AddSumEQ(path, l, fmt.Sprintf("delay s%d = %g", i, l))
-		default:
-			if l > 0 {
-				p.AddSumGE(path, l, fmt.Sprintf("delay s%d >= %g", i, l))
-			}
-			if !math.IsInf(u, 1) {
-				p.AddSumLE(path, u, fmt.Sprintf("delay s%d <= %g", i, u))
-			}
-		}
-	}
-	return &baseProblem{p: p}
-}
-
-// addSteinerRow states Σ_{e∈path(s_i,s_j)} e ≥ dist(s_i,s_j); index 0
-// denotes the source.
-func (bp *baseProblem) addSteinerRow(in *Instance, i, j int) {
-	path := in.Tree.Path(i, j)
-	bp.p.AddSumGE(path, in.Dist(i, j), fmt.Sprintf("steiner %d-%d", i, j))
 }
 
 // seedPairs returns the initial Steiner rows for row generation: for every
@@ -429,37 +395,88 @@ func seedPairs(in *Instance) [][2]int {
 	return pairs
 }
 
-// violatedPairs runs the separation oracle: it scans all fixed-point pairs
-// for Steiner violations under edge lengths e and returns the worst
-// `batch` of them. Path lengths use the O(1) LCA, so a scan is O(m²).
+// sepViol is one violated Steiner pair found by the separation oracle.
+type sepViol struct {
+	pair   [2]int
+	amount float64
+}
+
+// violatedPairs runs the separation oracle with the default worker count
+// (GOMAXPROCS); see violatedPairsN.
 func violatedPairs(in *Instance, e []float64, tol float64, batch int) [][2]int {
+	return violatedPairsN(in, e, tol, batch, 0)
+}
+
+// violatedPairsN runs the separation oracle: it scans all fixed-point
+// pairs for Steiner violations under edge lengths e and returns the worst
+// `batch` of them. Path lengths use the O(1) LCA, so a scan is O(m²) —
+// and embarrassingly parallel, so the sink-pair rows are striped across a
+// worker pool (workers ≤ 0 means GOMAXPROCS). The result is deterministic
+// for any worker count: the merged violations are sorted by amount with
+// (i, j) as the tie-break before batching.
+func violatedPairsN(in *Instance, e []float64, tol float64, batch, workers int) [][2]int {
 	t := in.Tree
 	d := t.Delays(e)
-	type viol struct {
-		pair   [2]int
-		amount float64
-	}
-	var vs []viol
 	m := t.NumSinks
-	for i := 1; i <= m; i++ {
-		for j := i + 1; j <= m; j++ {
-			need := in.Dist(i, j)
-			if need == 0 {
-				continue
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if m < 64 {
+		// Not enough pairs to amortize goroutine startup.
+		workers = 1
+	}
+	if workers > m {
+		workers = m
+	}
+	var vs []sepViol
+	scan := func(start, stride int) []sepViol {
+		var local []sepViol
+		for i := 1 + start; i <= m; i += stride {
+			for j := i + 1; j <= m; j++ {
+				need := in.Dist(i, j)
+				if need == 0 {
+					continue
+				}
+				if pl := t.PathLength(i, j, d); need-pl > tol {
+					local = append(local, sepViol{[2]int{i, j}, need - pl})
+				}
 			}
-			if pl := t.PathLength(i, j, d); need-pl > tol {
-				vs = append(vs, viol{[2]int{i, j}, need - pl})
-			}
+		}
+		return local
+	}
+	if workers <= 1 {
+		vs = scan(0, 1)
+	} else {
+		locals := make([][]sepViol, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				locals[w] = scan(w, workers)
+			}(w)
+		}
+		wg.Wait()
+		for _, l := range locals {
+			vs = append(vs, l...)
 		}
 	}
 	if in.Source != nil {
 		for i := 1; i <= m; i++ {
 			if need := in.Dist(0, i); need-d[i] > tol {
-				vs = append(vs, viol{[2]int{0, i}, need - d[i]})
+				vs = append(vs, sepViol{[2]int{0, i}, need - d[i]})
 			}
 		}
 	}
-	sort.Slice(vs, func(a, b int) bool { return vs[a].amount > vs[b].amount })
+	sort.Slice(vs, func(a, b int) bool {
+		if vs[a].amount != vs[b].amount {
+			return vs[a].amount > vs[b].amount
+		}
+		if vs[a].pair[0] != vs[b].pair[0] {
+			return vs[a].pair[0] < vs[b].pair[0]
+		}
+		return vs[a].pair[1] < vs[b].pair[1]
+	})
 	if len(vs) > batch {
 		vs = vs[:batch]
 	}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"lubt/internal/bst"
 	"lubt/internal/core"
@@ -83,6 +84,11 @@ func (in *instance) runBaseline(skewFrac float64) (*bst.Result, error) {
 // runLUBT solves the EBF on the given topology with the absolute window
 // [l, u] for every sink.
 func (in *instance) runLUBT(base *bst.Result, l, u float64) (*core.Result, error) {
+	return in.runLUBTOpts(base, l, u, nil)
+}
+
+// runLUBTOpts is runLUBT with explicit core options (engine selection).
+func (in *instance) runLUBTOpts(base *bst.Result, l, u float64, opt *core.Options) (*core.Result, error) {
 	ci := &core.Instance{
 		Tree:    base.Tree,
 		SinkLoc: make([]geom.Point, len(in.bench.Sinks)+1),
@@ -95,7 +101,41 @@ func (in *instance) runLUBT(base *bst.Result, l, u float64) (*core.Result, error
 		cb.L[i] = l
 		cb.U[i] = u
 	}
-	return core.Solve(ci, cb, nil)
+	return core.Solve(ci, cb, opt)
+}
+
+// EngineStats solves every benchmark with both warm LP engines — the
+// sparse revised dual simplex (the default) and the dense-tableau
+// ablation engine — at a representative 0.1·radius skew window, and
+// tabulates the lp.Stats spine side by side. It backs `lubtbench -stats`.
+func EngineStats(names []string) (*table.Table, error) {
+	t := table.New("LP engine statistics (skew window 0.1·radius)",
+		"bench", "engine", "rounds", "steiner", "pivots", "refactor", "basis",
+		"fill-in", "rows", "nnz", "sep-scan", "lp-solve")
+	for _, name := range names {
+		in, err := load(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := in.runBaseline(0.1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		l, u := windowFor(base, in.radius, 0.1)
+		for _, eng := range []string{"revised", "dense"} {
+			res, err := in.runLUBTOpts(base, l, u, &core.Options{Engine: eng})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, eng, err)
+			}
+			st := res.Stats
+			t.Addf(name, eng, res.Rounds, res.RowsUsed, st.Pivots,
+				st.Refactorizations, st.BasisSize, st.FillIn, st.TableauRows,
+				st.RowNonzeros,
+				st.SeparationTime.Round(time.Microsecond).String(),
+				st.SolveTime.Round(time.Microsecond).String())
+		}
+	}
+	return t, nil
 }
 
 // Row1 is one line of Table 1.

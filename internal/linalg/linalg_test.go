@@ -242,3 +242,105 @@ func TestShapePanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestLUSolveTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+4) // keep well-conditioned
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := f.SolveTranspose(b)
+		// Check Aᵀ x = b, i.e. xᵀ A = bᵀ.
+		got := a.T().MulVec(x)
+		for i := range b {
+			if !almostEq(got[i], b[i], 1e-9*(1+math.Abs(b[i]))) {
+				t.Fatalf("trial %d: (Aᵀx)[%d] = %g, want %g", trial, i, got[i], b[i])
+			}
+		}
+	}
+}
+
+func TestFactorLUIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n := 8
+	mk := func() *Matrix {
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+4)
+		}
+		return a
+	}
+	a1, a2 := mk(), mk()
+	f, err := FactorLUInto(a1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dim() != n || f.NNZ() == 0 {
+		t.Fatalf("dim %d nnz %d", f.Dim(), f.NNZ())
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	// Refactor in place over a different matrix; solutions must match a
+	// fresh factorization.
+	f2, err := FactorLUInto(a2, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Error("FactorLUInto did not reuse storage")
+	}
+	fresh, err := FactorLU(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, x2 := f2.Solve(append([]float64(nil), b...)), fresh.Solve(append([]float64(nil), b...))
+	for i := range x1 {
+		if !almostEq(x1[i], x2[i], 1e-12*(1+math.Abs(x2[i]))) {
+			t.Fatalf("reused factor diverges at %d: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+	// Mismatched size must allocate fresh storage, not panic.
+	small := FromRows([][]float64{{2}})
+	fs, err := FactorLUInto(small, f)
+	if err != nil || fs.Dim() != 1 {
+		t.Fatalf("size change: %v dim %d", err, fs.Dim())
+	}
+}
+
+func TestFactorLUIntoSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLUInto(a, nil); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUZeroDim(t *testing.T) {
+	f, err := FactorLU(NewMatrix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := f.Solve(nil); len(x) != 0 {
+		t.Fatal("0-dim solve returned values")
+	}
+	if x := f.SolveTranspose(nil); len(x) != 0 {
+		t.Fatal("0-dim transpose solve returned values")
+	}
+}

@@ -26,8 +26,9 @@ type Incremental struct {
 	objV  float64   // objective-row constant (kept for diagnostics)
 	origC []float64 // original costs, for exact objective extraction
 
-	iterations int
-	infeasible bool
+	iterations  int
+	infeasible  bool
+	logicalRows int
 }
 
 // NewIncremental starts an engine over n variables (x ≥ 0) with the given
@@ -53,16 +54,47 @@ func NewIncremental(n int, objective []float64) *Incremental {
 	return inc
 }
 
-// NumRows returns the number of tableau rows (EQ constraints count twice).
-func (inc *Incremental) NumRows() int { return len(inc.rows) }
+// NumRows returns the number of logical constraint rows added via AddRow
+// (an EQ row counts once, matching what the caller stated). Use
+// TableauRows for the internal ≤-form count.
+func (inc *Incremental) NumRows() int { return inc.logicalRows }
+
+// TableauRows returns the internal ≤-form row count: EQ constraints are
+// split into a ≤ and a ≥ row, so they count twice here.
+func (inc *Incremental) TableauRows() int { return len(inc.rows) }
 
 // Iterations returns the cumulative dual-simplex pivot count.
 func (inc *Incremental) Iterations() int { return inc.iterations }
+
+// Stats returns a snapshot of the engine's observability counters. The
+// dense tableau never factors a basis, so the factorization gauges stay
+// zero; RowNonzeros counts the nonzeros of the stated constraint part
+// (structural columns only, slack columns excluded).
+func (inc *Incremental) Stats() Stats {
+	s := Stats{
+		Pivots:      inc.iterations,
+		LogicalRows: inc.logicalRows,
+		TableauRows: len(inc.rows),
+	}
+	for _, row := range inc.rows {
+		n := len(row)
+		if n > inc.nVars {
+			n = inc.nVars
+		}
+		for _, v := range row[:n] {
+			if v != 0 {
+				s.RowNonzeros++
+			}
+		}
+	}
+	return s
+}
 
 // AddRow introduces the constraint Σ terms {op} rhs. EQ rows are split
 // into a ≤ and a ≥ row. The engine becomes primal-infeasible until the
 // next Solve call.
 func (inc *Incremental) AddRow(terms []Term, op Op, rhs float64) {
+	inc.logicalRows++
 	switch op {
 	case LE:
 		inc.addLE(terms, rhs, 1)

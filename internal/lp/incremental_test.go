@@ -190,9 +190,12 @@ func TestIncrementalGetters(t *testing.T) {
 		t.Error("fresh engine not zeroed")
 	}
 	inc.AddRow([]Term{{0, 1}}, GE, 1)
-	inc.AddRow([]Term{{1, 1}}, EQ, 2) // counts as two rows
-	if inc.NumRows() != 3 {
-		t.Errorf("NumRows = %d, want 3", inc.NumRows())
+	inc.AddRow([]Term{{1, 1}}, EQ, 2) // one logical row, two tableau rows
+	if inc.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2 logical rows", inc.NumRows())
+	}
+	if inc.TableauRows() != 3 {
+		t.Errorf("TableauRows = %d, want 3 (EQ splits in two)", inc.TableauRows())
 	}
 	if _, err := inc.Solve(); err != nil {
 		t.Fatal(err)

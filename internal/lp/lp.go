@@ -206,5 +206,26 @@ type Solver interface {
 	Solve(p *Problem) (*Solution, error)
 }
 
+// RowEngine is the incremental (cutting-plane) engine interface: rows are
+// appended over time and every Solve warm-starts from the previous basis.
+// Both the sparse revised dual simplex (Revised, the default) and the
+// dense tableau engine (Incremental, kept for ablation) implement it, and
+// the row-generation loop in internal/core is written against it.
+type RowEngine interface {
+	// AddRow introduces Σ terms {op} rhs; EQ splits into ≤ and ≥.
+	AddRow(terms []Term, op Op, rhs float64)
+	// Solve re-optimizes and returns the current solution.
+	Solve() (*Solution, error)
+	// NumRows reports logical rows as stated by the caller (an EQ row
+	// counts once); TableauRows reports internal ≤-form rows (an EQ row
+	// splits into two).
+	NumRows() int
+	TableauRows() int
+	// Iterations returns the cumulative pivot count.
+	Iterations() int
+	// Stats returns a snapshot of the engine's observability counters.
+	Stats() Stats
+}
+
 // ErrBadProblem reports a structurally invalid problem.
 var ErrBadProblem = errors.New("lp: malformed problem")

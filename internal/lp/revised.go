@@ -1,0 +1,656 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"lubt/internal/linalg"
+)
+
+// Revised is a sparse revised dual-simplex engine for cutting planes: the
+// default realization of the §4.6 row-generation loop. Like the dense
+// tableau engine it requires a non-negative objective over x ≥ 0, which
+// makes the all-slack basis dual-feasible (no phase 1, ever); unlike the
+// tableau it never materializes B⁻¹A. Instead it keeps
+//
+//   - the constraint rows in a shared CSR/CSC rowStore (each EBF row has
+//     only O(tree depth) nonzeros),
+//   - the basis as a variable list plus an LU factorization — via
+//     internal/linalg — of the basis matrix's *structural core*: the t×t
+//     block over basic non-slack variables, where t is bounded by the
+//     variable count no matter how many rows have been generated, and
+//   - a product-form eta file between periodic refactorizations.
+//
+// Each pivot costs one BTRAN, one sparse pricing pass and one FTRAN
+// (O(t²+nnz)) instead of a dense rows×columns tableau update, which is
+// what makes warm re-solves scale to r4/r5-sized instances.
+type Revised struct {
+	tol   float64
+	nVars int
+	c     []float64 // structural costs, len nVars
+
+	rows *rowStore
+
+	// Basis state. Positions 0…m−1 (one per row); basisVar[p] holds a
+	// variable id: structural j < nVars, or nVars+k for the slack of row k.
+	basisVar    []int
+	posOfStruct []int32 // structural var → basis position, or −1
+	posOfSlack  []int32 // row → basis position of its slack, or −1
+
+	// Factorized structural core of the basis B₀ *as of the last
+	// refactorization*. Pivots taken since then live in the eta file, so
+	// the base solves must use the baseVar snapshot, not basisVar.
+	lu        *linalg.LU
+	baseVar   []int   // basisVar snapshot at factorization time
+	coreCols  []int   // basis positions holding structural variables (in B₀)
+	coreRows  []int   // rows whose slack is nonbasic in B₀ (ascending)
+	rowOfCore []int32 // row → index in coreRows, or −1
+	etas      []eta
+	coreMat   *linalg.Matrix // scratch for refactorization
+
+	xB []float64 // basic variable values, by position
+	y  []float64 // duals, by row
+	dS []float64 // reduced costs of structural variables
+	dK []float64 // reduced costs of slacks, by row
+
+	// Scratch buffers reused across pivots.
+	alpha   []float64 // pricing row over structural columns
+	colBuf  []float64 // entering column / ftran rhs, by row
+	accBuf  []float64 // structural accumulator inside ftran0, by row
+	posBuf  []float64 // btran intermediate, by position
+	coreRhs []float64 // core-solve right-hand side, len ≥ t
+	coreSol []float64 // core-solve result, len ≥ t
+	refEach int       // pivots between refactorizations
+
+	dirty          bool // rows added since the last factorization
+	justRefactored bool
+	infeasible     bool
+	iterations     int
+	logicalRows    int
+	stats          Stats
+}
+
+// eta is one product-form basis update: the basis matrix gained column
+// `w` (sparse, diagonal element diag) at position pos.
+type eta struct {
+	pos  int
+	diag float64
+	idx  []int32
+	val  []float64
+}
+
+// NewRevised starts a revised dual-simplex engine over n variables
+// (x ≥ 0) with the given non-negative objective (length n; shorter is
+// zero-padded). It panics on a negative cost, which would make the empty
+// basis dual-infeasible.
+func NewRevised(n int, objective []float64) *Revised {
+	rv := &Revised{
+		tol:     1e-9,
+		nVars:   n,
+		c:       make([]float64, n),
+		rows:    newRowStore(n),
+		dS:      make([]float64, n),
+		alpha:   make([]float64, n),
+		refEach: 64,
+	}
+	rv.posOfStruct = make([]int32, n)
+	for j := range rv.posOfStruct {
+		rv.posOfStruct[j] = -1
+	}
+	for j, cost := range objective {
+		if cost < 0 {
+			panic(fmt.Sprintf("lp: Revised needs non-negative costs; var %d has %g", j, cost))
+		}
+		if j < n {
+			rv.c[j] = cost
+			rv.dS[j] = cost
+		}
+	}
+	return rv
+}
+
+// NumRows returns the number of logical constraint rows added via AddRow
+// (an EQ row counts once). TableauRows reports the internal ≤-form count.
+func (rv *Revised) NumRows() int { return rv.logicalRows }
+
+// TableauRows returns the internal ≤-form row count (EQ rows count twice).
+func (rv *Revised) TableauRows() int { return rv.rows.numRows() }
+
+// Iterations returns the cumulative dual-simplex pivot count.
+func (rv *Revised) Iterations() int { return rv.iterations }
+
+// Stats returns a snapshot of the engine's observability counters.
+func (rv *Revised) Stats() Stats {
+	s := rv.stats
+	s.Pivots = rv.iterations
+	s.LogicalRows = rv.logicalRows
+	s.TableauRows = rv.rows.numRows()
+	s.RowNonzeros = rv.rows.nnz()
+	return s
+}
+
+// AddRow introduces the constraint Σ terms {op} rhs. EQ rows are split
+// into a ≤ and a ≥ row. The engine becomes primal-infeasible until the
+// next Solve call.
+func (rv *Revised) AddRow(terms []Term, op Op, rhs float64) {
+	rv.logicalRows++
+	switch op {
+	case LE:
+		rv.addLE(terms, rhs, 1)
+	case GE:
+		rv.addLE(terms, rhs, -1)
+	case EQ:
+		rv.addLE(terms, rhs, 1)
+		rv.addLE(terms, rhs, -1)
+	}
+}
+
+func (rv *Revised) addLE(terms []Term, rhs float64, sign float64) {
+	k := rv.rows.numRows()
+	rv.rows.appendLE(terms, rhs, sign)
+	// The new row's slack enters the basis at the new position.
+	rv.basisVar = append(rv.basisVar, rv.nVars+k)
+	rv.posOfSlack = append(rv.posOfSlack, int32(k))
+	rv.xB = append(rv.xB, 0)
+	rv.y = append(rv.y, 0)
+	rv.dK = append(rv.dK, 0)
+	rv.rowOfCore = append(rv.rowOfCore, -1)
+	rv.colBuf = append(rv.colBuf, 0)
+	rv.accBuf = append(rv.accBuf, 0)
+	rv.posBuf = append(rv.posBuf, 0)
+	if rv.dirty || len(rv.etas) != 0 || len(rv.baseVar) != k {
+		rv.dirty = true
+		return
+	}
+	// Warm bordered extension. With an empty eta file the current basis IS
+	// the factored snapshot B₀, and giving the new row a basic slack turns
+	// B₀ into the bordered matrix [B₀ 0; a₀ᵀ 1] — whose structural core is
+	// unchanged, so the LU stays valid and ftran0/btran0 pick up the border
+	// through baseVar. Seed the new basic value from the current structural
+	// solution instead of refactorizing; Solve refactorizes on optimality
+	// exactly so that this path is available to the next cutting-plane
+	// batch.
+	act := 0.0
+	ind, val := rv.rows.row(k)
+	for q, j := range ind {
+		if p := rv.posOfStruct[j]; p >= 0 {
+			act += val[q] * rv.xB[p]
+		}
+	}
+	rv.baseVar = append(rv.baseVar, rv.nVars+k)
+	rv.xB[k] = rv.rows.rhs[k] - act
+	rv.justRefactored = false
+}
+
+// reset returns to the all-slack basis (always dual-feasible for c ≥ 0):
+// the numerical-trouble escape hatch, equivalent to a cold dual start.
+func (rv *Revised) reset() {
+	m := rv.rows.numRows()
+	for j := range rv.posOfStruct {
+		rv.posOfStruct[j] = -1
+	}
+	rv.baseVar = rv.baseVar[:0]
+	for k := 0; k < m; k++ {
+		rv.basisVar[k] = rv.nVars + k
+		rv.posOfSlack[k] = int32(k)
+		rv.rowOfCore[k] = -1
+		rv.xB[k] = rv.rows.rhs[k]
+		rv.y[k] = 0
+		rv.dK[k] = 0
+		rv.baseVar = append(rv.baseVar, rv.nVars+k)
+	}
+	copy(rv.dS, rv.c)
+	rv.etas = rv.etas[:0]
+	rv.lu = nil
+	rv.coreCols = rv.coreCols[:0]
+	rv.coreRows = rv.coreRows[:0]
+	rv.dirty = false
+	rv.justRefactored = true
+	rv.stats.Resets++
+	rv.stats.BasisSize = 0
+}
+
+// refactorize rebuilds the LU factorization of the basis's structural
+// core, drops the eta file, and recomputes xB, y and the reduced costs
+// from scratch. Returns false (after resetting) when the basis has gone
+// numerically bad.
+func (rv *Revised) refactorize() bool {
+	m := rv.rows.numRows()
+	rv.baseVar = append(rv.baseVar[:0], rv.basisVar...)
+	rv.coreCols = rv.coreCols[:0]
+	rv.coreRows = rv.coreRows[:0]
+	for p := 0; p < m; p++ {
+		if rv.baseVar[p] < rv.nVars {
+			rv.coreCols = append(rv.coreCols, p)
+		}
+	}
+	for k := 0; k < m; k++ {
+		rv.rowOfCore[k] = -1
+		if rv.posOfSlack[k] < 0 {
+			rv.rowOfCore[k] = int32(len(rv.coreRows))
+			rv.coreRows = append(rv.coreRows, k)
+		}
+	}
+	t := len(rv.coreCols)
+	if t != len(rv.coreRows) {
+		// Cannot happen for a consistent basis; recover anyway.
+		rv.reset()
+		return false
+	}
+	if cap(rv.coreRhs) < t {
+		rv.coreRhs = make([]float64, t)
+		rv.coreSol = make([]float64, t)
+	}
+	rv.etas = rv.etas[:0]
+	rv.dirty = false
+	rv.justRefactored = true
+	rv.stats.Refactorizations++
+	rv.stats.BasisSize = t
+	if t > 0 {
+		if rv.coreMat == nil || rv.coreMat.Rows != t {
+			rv.coreMat = linalg.NewMatrix(t, t)
+		} else {
+			for i := range rv.coreMat.Data {
+				rv.coreMat.Data[i] = 0
+			}
+		}
+		nnzCore := 0
+		for ci, p := range rv.coreCols {
+			for _, ce := range rv.rows.col(rv.basisVar[p]) {
+				if ri := rv.rowOfCore[ce.row]; ri >= 0 {
+					rv.coreMat.Set(int(ri), ci, ce.coef)
+					nnzCore++
+				}
+			}
+		}
+		lu, err := linalg.FactorLUInto(rv.coreMat, rv.lu)
+		if err != nil {
+			rv.reset()
+			return false
+		}
+		rv.lu = lu
+		if fill := lu.NNZ() - nnzCore; fill > 0 {
+			rv.stats.FillIn = fill
+		} else {
+			rv.stats.FillIn = 0
+		}
+	} else {
+		rv.lu = nil
+		rv.stats.FillIn = 0
+	}
+	// Recompute the primal basic values xB = B⁻¹ b.
+	copy(rv.colBuf, rv.rows.rhs)
+	rv.ftran0(rv.colBuf, rv.xB)
+	// Recompute duals y = B⁻ᵀ cB and reduced costs d = c − Aᵀy.
+	for p := 0; p < m; p++ {
+		if v := rv.basisVar[p]; v < rv.nVars {
+			rv.posBuf[p] = rv.c[v]
+		} else {
+			rv.posBuf[p] = 0
+		}
+	}
+	rv.btran0(rv.posBuf, rv.y)
+	dTol := rv.dualTol()
+	ok := true
+	for j := 0; j < rv.nVars; j++ {
+		d := rv.c[j]
+		for _, ce := range rv.rows.col(j) {
+			d -= rv.y[ce.row] * ce.coef
+		}
+		if rv.posOfStruct[j] >= 0 {
+			d = 0
+		} else if d < 0 {
+			if d < -1e3*dTol {
+				ok = false
+			}
+			d = 0
+		}
+		rv.dS[j] = d
+	}
+	for k := 0; k < m; k++ {
+		d := -rv.y[k]
+		if rv.posOfSlack[k] >= 0 {
+			d = 0
+		} else if d < 0 {
+			if d < -1e3*dTol {
+				ok = false
+			}
+			d = 0
+		}
+		rv.dK[k] = d
+	}
+	if !ok {
+		// The basis drifted dual-infeasible: restart from all slacks.
+		rv.reset()
+		return false
+	}
+	return true
+}
+
+func (rv *Revised) feasTol() float64 {
+	maxB := 0.0
+	for _, b := range rv.rows.rhs {
+		if a := math.Abs(b); a > maxB {
+			maxB = a
+		}
+	}
+	return rv.tol * (1 + maxB)
+}
+
+func (rv *Revised) dualTol() float64 {
+	maxC := 0.0
+	for _, c := range rv.c {
+		if a := math.Abs(c); a > maxC {
+			maxC = a
+		}
+	}
+	return rv.tol * (1 + maxC)
+}
+
+// ftran0 computes z = B₀⁻¹ u through the factored structural core
+// (positions with basic slacks are solved by substitution). u is indexed
+// by row, z by basis position; u is left untouched unless aliased.
+func (rv *Revised) ftran0(u, z []float64) {
+	m := rv.rows.numRows()
+	t := len(rv.coreCols)
+	for k := 0; k < m; k++ {
+		rv.accBuf[k] = 0
+	}
+	var zT []float64
+	if t > 0 {
+		rhs := rv.coreRhs[:t]
+		for i, r := range rv.coreRows {
+			rhs[i] = u[r]
+		}
+		zT = rv.coreSol[:t]
+		rv.lu.SolveInto(rhs, zT)
+		for i, p := range rv.coreCols {
+			zi := zT[i]
+			if zi == 0 {
+				continue
+			}
+			for _, ce := range rv.rows.col(rv.baseVar[p]) {
+				rv.accBuf[ce.row] += ce.coef * zi
+			}
+		}
+	}
+	for p := 0; p < m; p++ {
+		if v := rv.baseVar[p]; v >= rv.nVars {
+			z[p] = u[v-rv.nVars] - rv.accBuf[v-rv.nVars]
+		}
+	}
+	for i, p := range rv.coreCols {
+		z[p] = zT[i]
+	}
+}
+
+// btran0 computes ρ = B₀⁻ᵀ u: u is indexed by basis position, ρ by row.
+func (rv *Revised) btran0(u, rho []float64) {
+	m := rv.rows.numRows()
+	for k := 0; k < m; k++ {
+		rho[k] = 0
+	}
+	for p := 0; p < m; p++ {
+		if v := rv.baseVar[p]; v >= rv.nVars {
+			rho[v-rv.nVars] = u[p]
+		}
+	}
+	t := len(rv.coreCols)
+	if t == 0 {
+		return
+	}
+	rhs := rv.coreRhs[:t]
+	for i, p := range rv.coreCols {
+		s := u[p]
+		for _, ce := range rv.rows.col(rv.baseVar[p]) {
+			if rv.rowOfCore[ce.row] < 0 {
+				s -= ce.coef * rho[ce.row]
+			}
+		}
+		rhs[i] = s
+	}
+	sol := rv.coreSol[:t]
+	rv.lu.SolveTransposeInto(rhs, sol)
+	for i, r := range rv.coreRows {
+		rho[r] = sol[i]
+	}
+}
+
+// ftran computes z = B⁻¹ u (u by row, z by position) through the base
+// factorization and the eta file.
+func (rv *Revised) ftran(u, z []float64) {
+	rv.ftran0(u, z)
+	for i := range rv.etas {
+		e := &rv.etas[i]
+		t := z[e.pos] / e.diag
+		if t != 0 {
+			for q, idx := range e.idx {
+				z[idx] -= e.val[q] * t
+			}
+		}
+		z[e.pos] = t
+	}
+}
+
+// btranPos computes ρ = B⁻ᵀ e_pos (ρ by row), the BTRAN pass of one dual
+// pivot.
+func (rv *Revised) btranPos(pos int, rho []float64) {
+	u := rv.posBuf
+	for p := range u[:rv.rows.numRows()] {
+		u[p] = 0
+	}
+	u[pos] = 1
+	for i := len(rv.etas) - 1; i >= 0; i-- {
+		e := &rv.etas[i]
+		s := u[e.pos]
+		for q, idx := range e.idx {
+			s -= e.val[q] * u[idx]
+		}
+		u[e.pos] = s / e.diag
+	}
+	rv.btran0(u, rho)
+}
+
+// Solve re-optimizes with the revised dual simplex and returns the
+// current solution. Status is Optimal or Infeasible (a non-negative
+// objective over x ≥ 0 can never be unbounded); Numerical/IterLimit
+// report trouble.
+func (rv *Revised) Solve() (*Solution, error) {
+	if rv.infeasible {
+		return &Solution{Status: Infeasible, Iterations: rv.iterations}, nil
+	}
+	m := rv.rows.numRows()
+	if m == 0 {
+		return &Solution{Status: Optimal, X: make([]float64, rv.nVars), Iterations: rv.iterations}, nil
+	}
+	if rv.dirty || (rv.lu == nil && len(rv.coreCols) > 0) {
+		rv.refactorize()
+	} else if rv.stats.Refactorizations == 0 && rv.stats.Resets == 0 {
+		// First solve on a fresh engine: establish xB from the all-slack
+		// basis without a factorization.
+		rv.refactorize()
+	}
+	feasTol := rv.feasTol()
+	maxIter := 20000 + 200*(m+rv.nVars+m)
+	rho := make([]float64, m)
+	w := make([]float64, m)
+	resets := 0
+	for iter := 0; ; iter++ {
+		if iter >= maxIter {
+			return &Solution{Status: IterLimit, Iterations: rv.iterations}, nil
+		}
+		// Leaving position: most negative basic value.
+		r, worst := -1, -feasTol
+		for p := 0; p < m; p++ {
+			if rv.xB[p] < worst {
+				r, worst = p, rv.xB[p]
+			}
+		}
+		if r < 0 {
+			break // primal feasible ⇒ optimal (dual feasibility invariant)
+		}
+		rv.btranPos(r, rho)
+		// Pricing: α over structural columns via a CSR pass over the rows
+		// where ρ is nonzero; slack columns have α_k = ρ_k directly.
+		for j := 0; j < rv.nVars; j++ {
+			rv.alpha[j] = 0
+		}
+		for k := 0; k < m; k++ {
+			rk := rho[k]
+			if rk == 0 {
+				continue
+			}
+			ind, val := rv.rows.row(k)
+			for q, j := range ind {
+				rv.alpha[j] += val[q] * rk
+			}
+		}
+		// Dual ratio test over negative pivot candidates; ties break on
+		// the smallest variable id (deterministic, Bland-like).
+		const aTol = 1e-9
+		enter, best, bestAlpha := -1, math.Inf(1), 0.0
+		for j := 0; j < rv.nVars; j++ {
+			a := rv.alpha[j]
+			if a >= -aTol || rv.posOfStruct[j] >= 0 {
+				continue
+			}
+			ratio := rv.dS[j] / -a
+			if ratio < best-rv.tol || (ratio < best+rv.tol && (enter < 0 || j < enter)) {
+				enter, best, bestAlpha = j, ratio, a
+			}
+		}
+		for k := 0; k < m; k++ {
+			a := rho[k]
+			if a >= -aTol || rv.posOfSlack[k] >= 0 {
+				continue
+			}
+			ratio := rv.dK[k] / -a
+			id := rv.nVars + k
+			if ratio < best-rv.tol || (ratio < best+rv.tol && (enter < 0 || id < enter)) {
+				enter, best, bestAlpha = id, ratio, a
+			}
+		}
+		if enter < 0 {
+			// Row r reads Σ (≥0 coefficients over nonbasics) = negative:
+			// infeasible — unless the factorization has drifted; verify
+			// against a fresh one before certifying.
+			if !rv.justRefactored {
+				rv.refactorize()
+				continue
+			}
+			rv.infeasible = true
+			return &Solution{Status: Infeasible, Iterations: rv.iterations}, nil
+		}
+		// FTRAN the entering column.
+		for k := 0; k < m; k++ {
+			rv.colBuf[k] = 0
+		}
+		if enter < rv.nVars {
+			for _, ce := range rv.rows.col(enter) {
+				rv.colBuf[ce.row] = ce.coef
+			}
+		} else {
+			rv.colBuf[enter-rv.nVars] = 1
+		}
+		rv.ftran(rv.colBuf, w)
+		if math.Abs(w[r]) < 1e-8 || math.Abs(w[r]-bestAlpha) > 1e-6*(1+math.Abs(bestAlpha)) {
+			// Pivot disagreement between the pricing row and the FTRAN
+			// column: the eta file has drifted. Refactor; if that does not
+			// help, restart from the all-slack basis; give up after that.
+			if !rv.justRefactored {
+				rv.refactorize()
+				continue
+			}
+			if resets == 0 {
+				rv.reset()
+				resets++
+				continue
+			}
+			return &Solution{Status: Numerical, Iterations: rv.iterations}, nil
+		}
+		var dEnter float64
+		if enter < rv.nVars {
+			dEnter = rv.dS[enter]
+		} else {
+			dEnter = rv.dK[enter-rv.nVars]
+		}
+		thetaD := dEnter / w[r]
+		thetaP := rv.xB[r] / w[r]
+		for p := 0; p < m; p++ {
+			if p != r && w[p] != 0 {
+				rv.xB[p] -= thetaP * w[p]
+			}
+		}
+		rv.xB[r] = thetaP
+		if thetaD != 0 {
+			for k := 0; k < m; k++ {
+				if rho[k] != 0 {
+					rv.y[k] += thetaD * rho[k]
+				}
+				d := rv.dK[k] - thetaD*rho[k]
+				if d < 0 {
+					d = 0
+				}
+				rv.dK[k] = d
+			}
+			for j := 0; j < rv.nVars; j++ {
+				d := rv.dS[j] - thetaD*rv.alpha[j]
+				if d < 0 {
+					d = 0
+				}
+				rv.dS[j] = d
+			}
+		}
+		// Book-keeping: swap basis membership, record the eta.
+		leave := rv.basisVar[r]
+		if leave < rv.nVars {
+			rv.posOfStruct[leave] = -1
+			rv.dS[leave] = math.Max(0, -thetaD)
+		} else {
+			rv.posOfSlack[leave-rv.nVars] = -1
+			rv.dK[leave-rv.nVars] = math.Max(0, -thetaD)
+		}
+		rv.basisVar[r] = enter
+		if enter < rv.nVars {
+			rv.posOfStruct[enter] = int32(r)
+			rv.dS[enter] = 0
+		} else {
+			rv.posOfSlack[enter-rv.nVars] = int32(r)
+			rv.dK[enter-rv.nVars] = 0
+		}
+		et := eta{pos: r, diag: w[r]}
+		for p := 0; p < m; p++ {
+			if p != r && math.Abs(w[p]) > 1e-13 {
+				et.idx = append(et.idx, int32(p))
+				et.val = append(et.val, w[p])
+			}
+		}
+		rv.etas = append(rv.etas, et)
+		rv.iterations++
+		rv.justRefactored = false
+		if len(rv.etas) >= rv.refEach {
+			rv.refactorize()
+		}
+	}
+	x := make([]float64, rv.nVars)
+	for p := 0; p < m; p++ {
+		if v := rv.basisVar[p]; v < rv.nVars {
+			val := rv.xB[p]
+			if val < 0 && val > -1e-7*(1+math.Abs(rv.rows.rhs[p])) {
+				val = 0
+			}
+			x[v] = val
+		}
+	}
+	var obj float64
+	for j, cj := range rv.c {
+		obj += cj * x[j]
+	}
+	if len(rv.etas) > 0 {
+		// Clear the eta file while idle so the next AddRow batch can take
+		// the warm bordered-extension path instead of forcing a cold
+		// refactorization at the start of the next round.
+		rv.refactorize()
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: rv.iterations}, nil
+}

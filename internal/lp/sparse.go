@@ -1,0 +1,96 @@
+package lp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// rowStore is the shared sparse constraint representation of the
+// incremental engines: a CSR-style append-only row store over ≤-form rows
+// (Σ aᵢⱼ xⱼ ≤ bᵢ), plus a transposed column index used by the revised
+// dual simplex for basis-column gathers and pricing. EBF rows touch only
+// the O(depth) edges of one tree path, so both views stay tiny compared
+// with the dense tableau's rows×columns footprint.
+type rowStore struct {
+	nVars int
+	ptr   []int     // row k occupies ind/val[ptr[k]:ptr[k+1]]; len numRows+1
+	ind   []int32   // column indices within a row (strictly increasing)
+	val   []float64 // matching coefficients
+	rhs   []float64 // per-row right-hand side
+
+	// cols[j] lists the (row, coef) pairs of structural column j in row
+	// order — the CSC twin of the CSR arrays above, maintained on append.
+	cols [][]colEntry
+
+	scratch []float64 // nVars-sized accumulator reused by appendLE
+	touched []int32
+}
+
+type colEntry struct {
+	row  int32
+	coef float64
+}
+
+func newRowStore(nVars int) *rowStore {
+	return &rowStore{
+		nVars:   nVars,
+		ptr:     []int{0},
+		cols:    make([][]colEntry, nVars),
+		scratch: make([]float64, nVars),
+	}
+}
+
+// numRows returns the ≤-row count.
+func (rs *rowStore) numRows() int { return len(rs.rhs) }
+
+// nnz returns the stored nonzero count.
+func (rs *rowStore) nnz() int { return len(rs.val) }
+
+// appendLE adds the row sign·(Σ terms) ≤ sign·rhs. Duplicate variables in
+// terms are coalesced; zero coefficients are dropped.
+func (rs *rowStore) appendLE(terms []Term, rhs float64, sign float64) {
+	rs.touched = rs.touched[:0]
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= rs.nVars {
+			panic(fmt.Sprintf("lp: row references variable %d of %d", t.Var, rs.nVars))
+		}
+		if rs.scratch[t.Var] == 0 && t.Coef != 0 {
+			rs.touched = append(rs.touched, int32(t.Var))
+		}
+		rs.scratch[t.Var] += sign * t.Coef
+	}
+	sort.Slice(rs.touched, func(a, b int) bool { return rs.touched[a] < rs.touched[b] })
+	row := int32(len(rs.rhs))
+	for _, j := range rs.touched {
+		c := rs.scratch[j]
+		rs.scratch[j] = 0
+		if c == 0 {
+			continue
+		}
+		rs.ind = append(rs.ind, j)
+		rs.val = append(rs.val, c)
+		rs.cols[j] = append(rs.cols[j], colEntry{row: row, coef: c})
+	}
+	rs.ptr = append(rs.ptr, len(rs.ind))
+	rs.rhs = append(rs.rhs, sign*rhs)
+}
+
+// row returns the index/value slices of row k (shared storage).
+func (rs *rowStore) row(k int) ([]int32, []float64) {
+	lo, hi := rs.ptr[k], rs.ptr[k+1]
+	return rs.ind[lo:hi], rs.val[lo:hi]
+}
+
+// col returns the (row, coef) list of structural column j (shared
+// storage).
+func (rs *rowStore) col(j int) []colEntry { return rs.cols[j] }
+
+// activity returns Σ aₖⱼ xⱼ for row k under the structural vector x.
+func (rs *rowStore) activity(k int, x []float64) float64 {
+	ind, val := rs.row(k)
+	var s float64
+	for p, j := range ind {
+		s += val[p] * x[j]
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package lp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats is the unified observability record of the LP layer. The engines
+// fill the pivot/factorization counters; the row-generation loop in
+// internal/core fills the separation-oracle and round fields; the public
+// lubt API and both CLIs surface the combined record. All counters are
+// cumulative over the lifetime of one engine / one solve.
+type Stats struct {
+	// Pivots counts simplex pivots (dual pivots for the incremental
+	// engines, both phases for the cold simplex, iterations for the IPM).
+	Pivots int
+	// Refactorizations counts basis refactorizations of the revised
+	// dual-simplex engine (the dense tableau never refactors).
+	Refactorizations int
+	// Resets counts full basis resets taken after numerical trouble.
+	Resets int
+	// BasisSize is the structural-core dimension t of the basis at the
+	// last refactorization: the number of basic non-slack variables. For
+	// EBF it is bounded by the edge count no matter how many Steiner rows
+	// row generation adds.
+	BasisSize int
+	// FillIn is nnz(L+U) − nnz(core) at the last refactorization: extra
+	// nonzeros the LU factorization introduced beyond the basis core.
+	FillIn int
+	// LogicalRows counts constraint rows as stated by the caller (an EQ
+	// row counts once). TableauRows counts internal ≤-form rows (an EQ row
+	// splits into two). RowNonzeros is the nonzero count of the sparse row
+	// store.
+	LogicalRows int
+	TableauRows int
+	RowNonzeros int
+
+	// Rounds is the number of row-generation rounds (filled by
+	// internal/core).
+	Rounds int
+	// ViolatedByRound records how many violated Steiner pairs the
+	// separation oracle found in each round (the last entry is 0 on
+	// convergence).
+	ViolatedByRound []int
+	// SeparationTime is the cumulative wall time of separation-oracle
+	// scans; SolveTime is the cumulative wall time inside LP solves.
+	SeparationTime time.Duration
+	SolveTime      time.Duration
+}
+
+// Merge folds other into s: counters add, gauges (BasisSize, FillIn, row
+// counts) take other's value when set, and per-round traces concatenate.
+func (s *Stats) Merge(other Stats) {
+	s.Pivots += other.Pivots
+	s.Refactorizations += other.Refactorizations
+	s.Resets += other.Resets
+	s.Rounds += other.Rounds
+	s.SeparationTime += other.SeparationTime
+	s.SolveTime += other.SolveTime
+	s.ViolatedByRound = append(s.ViolatedByRound, other.ViolatedByRound...)
+	if other.BasisSize > 0 {
+		s.BasisSize = other.BasisSize
+	}
+	if other.FillIn > 0 {
+		s.FillIn = other.FillIn
+	}
+	if other.LogicalRows > 0 {
+		s.LogicalRows = other.LogicalRows
+	}
+	if other.TableauRows > 0 {
+		s.TableauRows = other.TableauRows
+	}
+	if other.RowNonzeros > 0 {
+		s.RowNonzeros = other.RowNonzeros
+	}
+}
+
+// String renders a compact one-stop summary (used by cmd/lubt --stats).
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pivots %d  refactorizations %d  basis %d  fill-in %d  resets %d\n",
+		s.Pivots, s.Refactorizations, s.BasisSize, s.FillIn, s.Resets)
+	fmt.Fprintf(&b, "rows %d logical / %d tableau  nnz %d  rounds %d\n",
+		s.LogicalRows, s.TableauRows, s.RowNonzeros, s.Rounds)
+	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
+	if len(s.ViolatedByRound) > 0 {
+		fmt.Fprintf(&b, "\nviolated/round %v", s.ViolatedByRound)
+	}
+	return b.String()
+}

@@ -91,10 +91,11 @@ func (b Bounds) toCore(m int) (core.Bounds, error) {
 // Options tune a solve.
 type Options struct {
 	// Solver selects the LP method: "simplex" (default — row generation on
-	// an incremental dual-simplex engine with warm starts), "coldsimplex"
-	// (two-phase primal simplex re-solved from scratch each round) or
-	// "ipm" (the interior-point method, the solver family the paper used
-	// via LOQO).
+	// the sparse revised dual-simplex engine with warm starts),
+	// "densesimplex" (the previous dense-tableau warm engine, kept for
+	// ablation), "coldsimplex" (two-phase primal simplex re-solved from
+	// scratch each round) or "ipm" (the interior-point method, the solver
+	// family the paper used via LOQO).
 	Solver string
 	// Weights holds per-edge objective weights (§7), indexed by edge
 	// (child node id); nil means unit weights.
@@ -105,23 +106,30 @@ type Options struct {
 	// FullMatrix disables the §4.6 constraint reduction and states all
 	// C(m,2) Steiner rows upfront.
 	FullMatrix bool
+	// OracleWorkers caps the separation oracle's worker pool; 0 means
+	// GOMAXPROCS. The oracle's output order is deterministic for any
+	// worker count.
+	OracleWorkers int
 }
 
-// lpSolver maps the option string to an lp.Solver; nil selects the
-// default incremental dual-simplex engine inside internal/core.
-func (o *Options) lpSolver() (lp.Solver, error) {
+// lpSolver maps the option string to an explicit lp.Solver plus a warm
+// engine name; a nil solver selects the incremental engine named by the
+// second return value ("" means the default revised dual simplex).
+func (o *Options) lpSolver() (lp.Solver, string, error) {
 	if o == nil {
-		return nil, nil
+		return nil, "", nil
 	}
 	switch o.Solver {
 	case "", "simplex":
-		return nil, nil
+		return nil, "", nil
+	case "densesimplex":
+		return nil, "dense", nil
 	case "coldsimplex":
-		return &lp.Simplex{}, nil
+		return &lp.Simplex{}, "", nil
 	case "ipm":
-		return &lp.IPM{}, nil
+		return &lp.IPM{}, "", nil
 	}
-	return nil, fmt.Errorf("lubt: unknown solver %q", o.Solver)
+	return nil, "", fmt.Errorf("lubt: unknown solver %q", o.Solver)
 }
 
 func (o *Options) embedOptions() (*embed.Options, error) {
@@ -256,13 +264,14 @@ func (in *Instance) Solve(b Bounds, opt *Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	solver, err := opt.lpSolver()
+	solver, engine, err := opt.lpSolver()
 	if err != nil {
 		return nil, err
 	}
-	copts := &core.Options{Solver: solver}
+	copts := &core.Options{Solver: solver, Engine: engine}
 	if opt != nil {
 		copts.FullMatrix = opt.FullMatrix
+		copts.OracleWorkers = opt.OracleWorkers
 		if opt.Weights != nil {
 			copts.Weights = opt.Weights
 		}
@@ -275,7 +284,12 @@ func (in *Instance) Solve(b Bounds, opt *Options) (*Tree, error) {
 		}
 		return nil, err
 	}
-	return in.finish(ci, cb, res.E, res.Cost, opt)
+	tree, err := in.finish(ci, cb, res.E, res.Cost, opt)
+	if err != nil {
+		return nil, err
+	}
+	tree.Stats = solveStatsFrom(res)
+	return tree, nil
 }
 
 // SolveElmore runs the §7 Elmore-delay extension: the delay windows are
@@ -291,7 +305,7 @@ func (in *Instance) SolveElmore(b Bounds, rw, cw float64, sinkCap []float64, opt
 	if err != nil {
 		return nil, err
 	}
-	solver, err := opt.lpSolver()
+	solver, _, err := opt.lpSolver()
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
+	"time"
 
 	"lubt/internal/core"
 	"lubt/internal/embed"
@@ -32,10 +34,85 @@ type Tree struct {
 	Elongation []float64
 	// MinDelay, MaxDelay and Skew summarize SinkDelays.
 	MinDelay, MaxDelay, Skew float64
+	// Stats records the LP work behind the solve (zero-valued for the
+	// constructive baselines, which run no LP).
+	Stats SolveStats
 
 	inst      *core.Instance
 	bounds    core.Bounds
 	placement *embed.Placement
+}
+
+// SolveStats is the public observability record of a Solve call: how much
+// LP work the §4.6 row-generation loop did and where the time went. The
+// engine counters (pivots, refactorizations, basis size, fill-in) come
+// from the LP layer; the round fields from the row-generation loop.
+type SolveStats struct {
+	// Rounds is the number of row-generation rounds; SteinerRows the
+	// Steiner rows stated in the final LP (compare against C(m,2)).
+	Rounds      int
+	SteinerRows int
+	// LPIterations counts simplex pivots (or IPM iterations) across all
+	// rounds. Refactorizations, Resets, BasisSize and FillIn are revised
+	// dual-simplex internals: basis refactorization count, full basis
+	// resets after numerical trouble, the structural-core dimension of the
+	// basis, and the LU fill-in beyond the basis core at the last
+	// refactorization.
+	LPIterations     int
+	Refactorizations int
+	Resets           int
+	BasisSize        int
+	FillIn           int
+	// LogicalRows counts constraint rows as stated (an EQ row once);
+	// TableauRows counts internal ≤-form rows; RowNonzeros the stored
+	// constraint nonzeros.
+	LogicalRows int
+	TableauRows int
+	RowNonzeros int
+	// ViolatedByRound is the separation oracle's violated-pair count per
+	// round (0 in the last entry on convergence).
+	ViolatedByRound []int
+	// SeparationTime is wall time spent scanning sink pairs; SolveTime is
+	// wall time inside LP solves.
+	SeparationTime time.Duration
+	SolveTime      time.Duration
+}
+
+// String renders the stats as a compact multi-line summary (what
+// cmd/lubt -stats prints).
+func (s SolveStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds %d  steiner-rows %d  lp-iterations %d\n",
+		s.Rounds, s.SteinerRows, s.LPIterations)
+	fmt.Fprintf(&b, "rows %d logical / %d tableau  nnz %d\n",
+		s.LogicalRows, s.TableauRows, s.RowNonzeros)
+	fmt.Fprintf(&b, "refactorizations %d  basis %d  fill-in %d  resets %d\n",
+		s.Refactorizations, s.BasisSize, s.FillIn, s.Resets)
+	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
+	if len(s.ViolatedByRound) > 0 {
+		fmt.Fprintf(&b, "\nviolated/round %v", s.ViolatedByRound)
+	}
+	return b.String()
+}
+
+// solveStatsFrom converts the internal result record to the public one.
+func solveStatsFrom(res *core.Result) SolveStats {
+	st := res.Stats
+	return SolveStats{
+		Rounds:           res.Rounds,
+		SteinerRows:      res.RowsUsed,
+		LPIterations:     res.LPIterations,
+		Refactorizations: st.Refactorizations,
+		Resets:           st.Resets,
+		BasisSize:        st.BasisSize,
+		FillIn:           st.FillIn,
+		LogicalRows:      st.LogicalRows,
+		TableauRows:      st.TableauRows,
+		RowNonzeros:      st.RowNonzeros,
+		ViolatedByRound:  append([]int(nil), st.ViolatedByRound...),
+		SeparationTime:   st.SeparationTime,
+		SolveTime:        st.SolveTime,
+	}
 }
 
 func (t *Tree) recomputeStats() {
