@@ -1,8 +1,33 @@
 #!/bin/sh
-# Tier-1 verification gate: vet, build, then the full test suite under the
-# race detector (the separation oracle and the experiments harness are the
-# concurrent parts). Run from the repo root; see README "Install / build".
+# Tier-1 verification gate: formatting, package docs, vet, build, then
+# the full test suite under the race detector (the separation oracle and
+# the experiments harness are the concurrent parts). Run from the repo
+# root; see README "Install / build".
 set -eu
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== package docs"
+missing=""
+for dir in internal/*/; do
+	[ -d "$dir" ] || continue
+	if ! ls "$dir"*.go >/dev/null 2>&1; then
+		continue # no Go package here
+	fi
+	if [ ! -f "${dir}doc.go" ]; then
+		missing="$missing $dir"
+	fi
+done
+if [ -n "$missing" ]; then
+	echo "ci: internal packages missing doc.go:$missing" >&2
+	exit 1
+fi
 
 echo "== go vet"
 go vet ./...

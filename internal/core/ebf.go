@@ -146,26 +146,39 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Forced-zero edges from degree splitting, then the delay rows (§4.2).
+	// Forced-zero edges from degree splitting: engines with native
+	// variable boxes (the boxed revised dual simplex) fix the variable —
+	// zero rows, zero ratio-test work — everyone else gets an explicit EQ
+	// row. Then the delay rows (§4.2): each finite window l ≤ path ≤ u is
+	// ONE logical ranged row (the boxed engine stores it once with the
+	// row's slack bounded by u − l; the dense/cold engines lower it back
+	// to the classic ≤/≥ pair), one-sided windows degrade to single rows,
+	// and l = u pins the row's slack instead of splitting an equality.
+	vb, _ := eng.(lp.VarBounder)
 	for k := 1; k < n; k++ {
 		if t.ForcedZero[k] {
-			eng.AddRow([]lp.Term{{Var: k, Coef: 1}}, lp.EQ, 0)
+			if vb != nil {
+				vb.SetVarBounds(k, 0, 0)
+			} else {
+				eng.AddRow([]lp.Term{{Var: k, Coef: 1}}, lp.EQ, 0)
+			}
 		}
 	}
 	for i := 1; i <= t.NumSinks; i++ {
 		path := unitTermsOf(t.PathToRoot(i))
 		l, u := b.L[i], b.U[i]
-		switch {
-		case l == u:
-			eng.AddRow(path, lp.EQ, l)
-		default:
-			if l > 0 {
-				eng.AddRow(path, lp.GE, l)
-			}
-			if !math.IsInf(u, 1) {
-				eng.AddRow(path, lp.LE, u)
-			}
+		lo := l
+		if lo <= 0 {
+			lo = math.Inf(-1) // path lengths are non-negative: vacuous side
 		}
+		hi := u
+		if l == u {
+			lo, hi = l, u // exact window even at zero
+		}
+		if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+			continue // fully unbounded window: no constraint at all
+		}
+		eng.AddRangedRow(path, lo, hi)
 	}
 
 	type pairKey struct{ i, j int }
@@ -259,6 +272,7 @@ type coldEngine struct {
 	iterations  int
 	logicalRows int
 	tableauRows int
+	rangedRows  int
 }
 
 func newColdEngine(n int, w []float64, solver lp.Solver) *coldEngine {
@@ -277,8 +291,35 @@ func (ce *coldEngine) AddRow(terms []lp.Term, op lp.Op, rhs float64) {
 	ce.tableauRows++
 	if op == lp.EQ {
 		ce.tableauRows++
+		ce.rangedRows++
 	}
 	ce.p.AddConstraint(terms, op, rhs, "")
+}
+
+// AddRangedRow lowers lo ≤ Σ terms ≤ hi to the constraint forms the cold
+// solvers (two-phase simplex, interior point) understand: an EQ row for an
+// exact window, otherwise the finite sides as GE/LE rows. One logical row
+// either way, matching the RowEngine counting contract.
+func (ce *coldEngine) AddRangedRow(terms []lp.Term, lo, hi float64) {
+	ce.logicalRows++
+	switch {
+	case lo == hi:
+		ce.rangedRows++
+		ce.tableauRows += 2
+		ce.p.AddConstraint(terms, lp.EQ, lo, "")
+	default:
+		if !math.IsInf(lo, -1) && !math.IsInf(hi, 1) {
+			ce.rangedRows++
+		}
+		if !math.IsInf(lo, -1) {
+			ce.tableauRows++
+			ce.p.AddConstraint(terms, lp.GE, lo, "")
+		}
+		if !math.IsInf(hi, 1) {
+			ce.tableauRows++
+			ce.p.AddConstraint(terms, lp.LE, hi, "")
+		}
+	}
 }
 
 func (ce *coldEngine) Solve() (*lp.Solution, error) {
@@ -295,9 +336,11 @@ func (ce *coldEngine) Iterations() int  { return ce.iterations }
 
 func (ce *coldEngine) Stats() lp.Stats {
 	st := lp.Stats{
-		Pivots:      ce.iterations,
-		LogicalRows: ce.logicalRows,
-		TableauRows: ce.tableauRows,
+		Pivots:             ce.iterations,
+		LogicalRows:        ce.logicalRows,
+		TableauRows:        ce.tableauRows,
+		LoweredTableauRows: ce.tableauRows, // cold problems are already lowered
+		RangedRows:         ce.rangedRows,
 	}
 	for _, c := range ce.p.Cons {
 		st.RowNonzeros += len(c.Terms)

@@ -1,16 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// Edge-Based Formulation (EBF) of the Lower/Upper Bounded delay routing
-// Tree problem (§4). Given a rooted topology and per-sink delay bounds, it
-// assembles the LP over edge lengths
-//
-//	min Σ w_k e_k
-//	s.t. Σ_{e∈path(s_i,s_j)} e ≥ dist(s_i,s_j)    (Steiner constraints, §4.1)
-//	     l_i ≤ Σ_{e∈path(s_0,s_i)} e ≤ u_i        (delay constraints, §4.2)
-//	     e ≥ 0
-//
-// and solves it with the LP solvers of internal/lp, using row generation
-// to realize the constraint reduction of §4.6. The package also contains
-// the sequential-LP heuristic for the Elmore-delay extension of §7.
 package core
 
 import (

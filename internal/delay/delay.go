@@ -1,8 +1,3 @@
-// Package delay implements the two delay models of the LUBT paper: the
-// linear model (Eq. 1, delay = source-sink path length) under which EBF is
-// an exact linear program, and the Elmore model (Eq. 12, §7) under which
-// EBF becomes a nonlinear program solved by sequential linear programming
-// in internal/core.
 package delay
 
 import (

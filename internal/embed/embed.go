@@ -1,10 +1,3 @@
-// Package embed places the Steiner points of a LUBT once the edge lengths
-// are known — the revised DME procedure of §5 of the paper: a bottom-up
-// pass builds the feasible region (a TRR) of every node from its
-// children's expanded regions, then a top-down pass picks concrete
-// locations. Theorem 4.1 guarantees the regions are non-empty whenever the
-// edge lengths satisfy the Steiner constraints; this package is the
-// constructive half of that proof, and its property tests exercise it.
 package embed
 
 import (

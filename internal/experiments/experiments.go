@@ -1,25 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§8): Table 1 (baseline [9] vs LUBT across skew bounds),
-// Table 2 (same skew, shifted delay windows), Table 3 (assorted bound
-// combinations) and Figure 8 (the cost-vs-bounds trade-off curve for
-// prim2). It is shared by cmd/lubtbench and the root bench_test.go.
-//
-// All bounds are expressed as multiples of the instance radius, exactly as
-// in the paper ("all bounds are normalized to the radius"). Costs are
-// absolute wirelength on our synthetic benchmark instances; per DESIGN.md
-// the comparison of interest is the *shape* — who wins, monotonicity,
-// where the knees are — not the 1996 absolute numbers.
-//
-// Methodology note (also in EXPERIMENTS.md): the paper ran the router of
-// [9] at a skew bound B and fed its topology and its [shortest, longest]
-// sink delays to LUBT as [l, u]. Our reimplemented baseline keeps sink
-// delays much closer together than B (its merge rule balances delay
-// intervals, using slack only to avoid elongation), so feeding its
-// *observed* spread to LUBT would solve a nearly-zero-skew problem
-// regardless of B. We therefore hand LUBT the full tolerable-skew window
-// the bound entitles it to — [longest − B·radius, longest], §6 of the
-// paper — which is exactly the freedom [9]'s spread gave LUBT in the
-// original experiment.
 package experiments
 
 import (
@@ -110,8 +88,8 @@ func (in *instance) runLUBTOpts(base *bst.Result, l, u float64, opt *core.Option
 // tabulates the lp.Stats spine side by side. It backs `lubtbench -stats`.
 func EngineStats(names []string) (*table.Table, error) {
 	t := table.New("LP engine statistics (skew window 0.1·radius)",
-		"bench", "engine", "rounds", "steiner", "pivots", "refactor", "basis",
-		"fill-in", "rows", "nnz", "sep-scan", "lp-solve")
+		"bench", "engine", "rounds", "steiner", "pivots", "flips", "refactor",
+		"basis", "fill-in", "rows", "lowered", "nnz", "sep-scan", "lp-solve")
 	for _, name := range names {
 		in, err := load(name)
 		if err != nil {
@@ -129,8 +107,8 @@ func EngineStats(names []string) (*table.Table, error) {
 			}
 			st := res.Stats
 			t.Addf(name, eng, res.Rounds, res.RowsUsed, st.Pivots,
-				st.Refactorizations, st.BasisSize, st.FillIn, st.TableauRows,
-				st.RowNonzeros,
+				st.BoundFlips, st.Refactorizations, st.BasisSize, st.FillIn,
+				st.TableauRows, st.LoweredTableauRows, st.RowNonzeros,
 				st.SeparationTime.Round(time.Microsecond).String(),
 				st.SolveTime.Round(time.Microsecond).String())
 		}

@@ -1,0 +1,43 @@
+// Package geom implements the Manhattan-plane geometry the LUBT paper
+// builds on: points, Manhattan distance, tilted rectangular regions (TRRs,
+// §5 and §10 of the paper) and octilinear convex regions (the merge
+// regions of bounded-skew routing, used by the baseline of reference [9],
+// Huang–Kahng–Tsao DAC'95).
+//
+// # The rotated coordinate system
+//
+// The central trick is the 45° rotation
+//
+//	u = x + y,  v = x − y
+//
+// under which Manhattan (L1) distance in the plane becomes Chebyshev (L∞)
+// distance, a diamond of radius r becomes an axis-aligned square of
+// half-side r, and every TRR becomes an axis-aligned box
+// [ULo, UHi] × [VLo, VHi]. All TRR operations the paper needs —
+// intersection, Minkowski expansion by a radius, distance, containment —
+// reduce to constant-time interval arithmetic on those four numbers.
+// Degenerate TRRs are first-class: a width-zero TRR is a ±45° segment
+// (a zero-skew merging segment), a fully degenerate one a single point.
+//
+// # Why pairwise checks suffice (Helly's theorem)
+//
+// The embedding pass of internal/embed intersects many expanded TRRs and
+// relies on the intersection being non-empty whenever the LP's pairwise
+// Steiner constraints hold. That step is sound because TRRs are boxes in
+// (u, v) coordinates, and axis-aligned boxes have Helly number 2 per
+// axis: a family of intervals has a common point iff every PAIR
+// intersects (Helly's theorem in dimension 1, applied to the u and v
+// extents independently). This is the geometric heart of the paper's
+// Theorem 4.1 — pairwise constraints Σ_{path(i,j)} e ≥ dist(s_i, s_j)
+// certify that ALL the sink diamonds meet at once, so a feasible LP
+// solution always embeds. The same argument is why the separation oracle
+// of §4.6 only ever needs to scan pairs.
+//
+// # Octagons
+//
+// Octagon is the octilinear convex region of bounded-skew routing:
+// the intersection of an axis-aligned box with a TRR (eight bounding
+// directions). The bst baseline maintains one per cluster as its merge
+// region; the same interval arithmetic applies, two intervals per
+// direction pair.
+package geom

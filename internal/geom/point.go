@@ -1,18 +1,3 @@
-// Package geom implements the Manhattan-plane geometry the LUBT paper
-// builds on: points, Manhattan distance, tilted rectangular regions (TRRs,
-// §5 and §10 of the paper) and octilinear convex regions (the merge regions
-// of bounded-skew routing, used by the baseline of reference [9]).
-//
-// The central trick is the rotated coordinate system
-//
-//	u = x + y,  v = x − y
-//
-// under which Manhattan (L1) distance in the plane becomes Chebyshev (L∞)
-// distance, a diamond of radius r becomes an axis-aligned square of
-// half-side r, and every TRR becomes an axis-aligned box. All TRR
-// operations the paper needs — intersection, Minkowski expansion by a
-// radius, distance, containment — reduce to constant-time interval
-// arithmetic.
 package geom
 
 import "math"

@@ -1,0 +1,31 @@
+// Package linalg provides the dense linear algebra needed by the LP
+// solvers: row-major matrices, LU factorization with partial pivoting,
+// Cholesky factorization, triangular solves, and small vector helpers. It
+// is deliberately small — just enough for the simplex and interior-point
+// methods in internal/lp — and uses no dependencies beyond the standard
+// library.
+//
+// # Contracts
+//
+//   - Matrix is row-major: Row(i) returns a contiguous slice aliasing the
+//     backing array. Reshape(r, c) reuses the backing capacity and zeroes
+//     the content — the revised simplex resizes its basis-core scratch
+//     matrix in place on every refactorization, so the structural-core
+//     dimension t can grow and shrink without churning the allocator.
+//   - FactorLU computes P·A = L·U with partial pivoting, packing both
+//     triangles into one matrix (unit diagonal of L implicit); the input
+//     matrix is not modified. Numerically singular pivots surface as
+//     ErrSingular, never as NaN results.
+//   - LU.SolveInto / SolveTransposeInto are the allocation-free FTRAN /
+//     BTRAN hot paths of the revised dual simplex: both run in
+//     outer-product (saxpy) form so every inner loop walks one contiguous
+//     row, and a pass skips rows whose multiplier is exactly zero — which
+//     the eta-file BTRAN (a unit right-hand side) hits constantly.
+//     Destination slices must not alias the right-hand side.
+//   - LU.NNZ counts stored nonzeros of the packed factor; comparing it
+//     with the nonzero count of the factored matrix measures fill-in
+//     (surfaced as lp.Stats.FillIn).
+//   - Cholesky requires numeric symmetric positive definiteness and
+//     reports ErrNotSPD otherwise; the interior-point normal equations
+//     are its only caller.
+package linalg

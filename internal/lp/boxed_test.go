@@ -1,0 +1,322 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The boxed revised engine is the one engine with native variable bounds.
+var _ VarBounder = (*Revised)(nil)
+
+// lowerRanged states lo ≤ Σ terms ≤ hi on a cold Problem using the
+// two-row lowering (what engines without native ranged rows do).
+func lowerRanged(p *Problem, terms []Term, lo, hi float64) {
+	if !math.IsInf(hi, 1) {
+		p.AddConstraint(terms, LE, hi, "")
+	}
+	if !math.IsInf(lo, -1) {
+		p.AddConstraint(terms, GE, lo, "")
+	}
+}
+
+// TestRangedCrossSolverAgreement checks that ranged rows solved natively
+// by the boxed revised engine agree with the dense tableau engine (two-row
+// lowering), the cold two-phase simplex, and the interior-point method on
+// EBF-shaped problems — including exact (l = u) and tight windows. The
+// agreement tolerance mirrors the EBF acceptance bar: 1e-6 relative to
+// the problem scale.
+func TestRangedCrossSolverAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(7)
+		costs := make([]float64, n)
+		for j := range costs {
+			costs[j] = 0.5 + rng.Float64()*4
+		}
+		rv := NewRevised(n, costs)
+		inc := NewIncremental(n, costs)
+		p := NewProblem(n)
+		for j, c := range costs {
+			p.SetCost(j, c)
+		}
+		rows := 2 + rng.Intn(5)
+		for r := 0; r < rows; r++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					terms = append(terms, Term{j, 1})
+				}
+			}
+			if len(terms) == 0 {
+				terms = []Term{{rng.Intn(n), 1}}
+			}
+			var lo, hi float64
+			switch rng.Intn(4) {
+			case 0: // exact window l = u
+				lo = 1 + rng.Float64()*5
+				hi = lo
+			case 1: // tight window
+				lo = 1 + rng.Float64()*5
+				hi = lo + 1e-3 + rng.Float64()*0.05
+			case 2: // one-sided ≥
+				lo = rng.Float64() * 4
+				hi = math.Inf(1)
+			default: // generous two-sided window
+				lo = rng.Float64() * 3
+				hi = lo + 1 + rng.Float64()*4
+			}
+			rv.AddRangedRow(terms, lo, hi)
+			inc.AddRangedRow(terms, lo, hi)
+			lowerRanged(p, terms, lo, hi)
+		}
+		warm, err := rv.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := inc.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := (&Simplex{}).Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: revised %v vs cold %v", trial, warm.Status, cold.Status)
+		}
+		if warm.Status != dense.Status {
+			t.Fatalf("trial %d: revised %v vs dense %v", trial, warm.Status, dense.Status)
+		}
+		if warm.Status != Optimal {
+			continue
+		}
+		scale := 1 + math.Abs(cold.Objective)
+		if math.Abs(warm.Objective-cold.Objective) > 1e-6*scale {
+			t.Fatalf("trial %d: revised %.9g vs cold %.9g", trial, warm.Objective, cold.Objective)
+		}
+		if math.Abs(dense.Objective-cold.Objective) > 1e-6*scale {
+			t.Fatalf("trial %d: dense %.9g vs cold %.9g", trial, dense.Objective, cold.Objective)
+		}
+		if v, i := p.MaxViolation(warm.X); v > 1e-6*scale {
+			t.Fatalf("trial %d: revised violates lowered row %d by %g", trial, i, v)
+		}
+		// The interior-point method has no infeasibility certificate, so it
+		// is only consulted on optimal instances; its bar is looser because
+		// it converges to the optimal face, not a vertex.
+		ipm, err := (&IPM{}).Solve(p)
+		if err == nil && ipm.Status == Optimal {
+			if math.Abs(ipm.Objective-cold.Objective) > 1e-5*scale {
+				t.Fatalf("trial %d: IPM %.9g vs cold %.9g", trial, ipm.Objective, cold.Objective)
+			}
+		}
+	}
+}
+
+// TestBoundFlipPivots constructs a problem where the dual ratio test must
+// flip a boxed variable bound-to-bound before pivoting: x0 is boxed to
+// [0, 0.5] with the best dual ratio but not enough capacity to absorb the
+// row's infeasibility, so it flips to its upper bound and x1 enters.
+func TestBoundFlipPivots(t *testing.T) {
+	rv := NewRevised(2, []float64{1, 2})
+	rv.SetVarBounds(0, 0, 0.5)
+	rv.AddRangedRow([]Term{{0, 1}, {1, 1}}, 5, 6)
+	sol, err := rv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Optimum: x0 at its upper bound 0.5, x1 = 4.5 → objective 9.5.
+	if math.Abs(sol.Objective-9.5) > 1e-8 {
+		t.Fatalf("objective %.9g, want 9.5 (x %v)", sol.Objective, sol.X)
+	}
+	if math.Abs(sol.X[0]-0.5) > 1e-8 || math.Abs(sol.X[1]-4.5) > 1e-8 {
+		t.Fatalf("x = %v, want [0.5 4.5]", sol.X)
+	}
+	st := rv.Stats()
+	if st.BoundFlips == 0 {
+		t.Fatal("Stats().BoundFlips = 0, want at least one bound-to-bound flip")
+	}
+	// Cross-check against the cold simplex with the box stated as a row.
+	p := NewProblem(2)
+	p.SetCost(0, 1)
+	p.SetCost(1, 2)
+	p.AddConstraint([]Term{{0, 1}}, LE, 0.5, "box")
+	lowerRanged(p, []Term{{0, 1}, {1, 1}}, 5, 6)
+	cold, err := (&Simplex{}).Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != Optimal || math.Abs(cold.Objective-sol.Objective) > 1e-7 {
+		t.Fatalf("cold %v %.9g vs boxed %.9g", cold.Status, cold.Objective, sol.Objective)
+	}
+}
+
+// TestVarBounderFixedVariable checks that fixing a variable with
+// SetVarBounds(j, v, v) is equivalent to stating x_j = v as an EQ row —
+// the substitution the EBF row generation uses for forced-zero edges.
+func TestVarBounderFixedVariable(t *testing.T) {
+	rv := NewRevised(3, []float64{1, 1, 1})
+	rv.SetVarBounds(1, 0, 0) // forced-zero edge
+	rv.AddRangedRow([]Term{{0, 1}, {1, 1}, {2, 1}}, 4, 4)
+	rv.AddRow([]Term{{0, 1}}, LE, 1)
+	sol, err := rv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncremental(3, []float64{1, 1, 1})
+	inc.AddRow([]Term{{1, 1}}, EQ, 0)
+	inc.AddRangedRow([]Term{{0, 1}, {1, 1}, {2, 1}}, 4, 4)
+	inc.AddRow([]Term{{0, 1}}, LE, 1)
+	dense, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || dense.Status != Optimal {
+		t.Fatalf("status revised %v dense %v", sol.Status, dense.Status)
+	}
+	if math.Abs(sol.Objective-dense.Objective) > 1e-7 {
+		t.Fatalf("revised %.9g vs dense %.9g", sol.Objective, dense.Objective)
+	}
+	if math.Abs(sol.X[1]) > 1e-9 {
+		t.Fatalf("fixed variable x1 = %g, want 0", sol.X[1])
+	}
+	// A non-zero fixed value works the same way.
+	rv2 := NewRevised(2, []float64{1, 3})
+	rv2.SetVarBounds(0, 2, 2)
+	rv2.AddRangedRow([]Term{{0, 1}, {1, 1}}, 5, 7)
+	s2, err := rv2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Status != Optimal || math.Abs(s2.X[0]-2) > 1e-8 || math.Abs(s2.Objective-11) > 1e-7 {
+		t.Fatalf("fixed-at-2: %v x %v obj %.9g, want x0=2 obj 11", s2.Status, s2.X, s2.Objective)
+	}
+}
+
+// TestSetVarBoundsAfterSolvePanics pins the staging contract: boxes are
+// part of problem construction and may not change once the engine has
+// solved (the warm basis would silently assume the old box).
+func TestSetVarBoundsAfterSolvePanics(t *testing.T) {
+	rv := NewRevised(1, []float64{1})
+	rv.AddRow([]Term{{0, 1}}, GE, 1)
+	if _, err := rv.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	rv.SetVarBounds(0, 0, 2)
+}
+
+// TestRangedRowHalvingRegression pins the row-count saving that motivates
+// the boxed engine: N two-sided delay windows occupy N tableau rows in the
+// revised engine and 2N in the dense lowering, while both report the same
+// logical and lowered counts.
+func TestRangedRowHalvingRegression(t *testing.T) {
+	const nRows = 8
+	rv := NewRevised(4, []float64{1, 1, 1, 1})
+	inc := NewIncremental(4, []float64{1, 1, 1, 1})
+	for r := 0; r < nRows; r++ {
+		terms := []Term{{r % 4, 1}, {(r + 1) % 4, 1}}
+		lo := 1 + float64(r)
+		hi := lo + 0.5
+		rv.AddRangedRow(terms, lo, hi)
+		inc.AddRangedRow(terms, lo, hi)
+	}
+	if rv.NumRows() != nRows || inc.NumRows() != nRows {
+		t.Fatalf("NumRows revised %d dense %d, want %d each", rv.NumRows(), inc.NumRows(), nRows)
+	}
+	if got := rv.TableauRows(); got != nRows {
+		t.Fatalf("revised TableauRows = %d, want %d (one boxed row per window)", got, nRows)
+	}
+	if got := inc.TableauRows(); got != 2*nRows {
+		t.Fatalf("dense TableauRows = %d, want %d (two rows per window)", got, 2*nRows)
+	}
+	for _, eng := range []RowEngine{rv, inc} {
+		st := eng.Stats()
+		if st.LoweredTableauRows != 2*nRows {
+			t.Fatalf("LoweredTableauRows = %d, want %d", st.LoweredTableauRows, 2*nRows)
+		}
+		if st.RangedRows != nRows {
+			t.Fatalf("RangedRows = %d, want %d", st.RangedRows, nRows)
+		}
+	}
+	// And both engines solve the same problem to the same optimum.
+	a, err := rv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inc.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != b.Status {
+		t.Fatalf("status revised %v dense %v", a.Status, b.Status)
+	}
+	if a.Status == Optimal && math.Abs(a.Objective-b.Objective) > 1e-7 {
+		t.Fatalf("revised %.9g vs dense %.9g", a.Objective, b.Objective)
+	}
+}
+
+// TestRangedWarmSequence interleaves ranged rows, one-sided rows and
+// re-solves, checking the warm path against a cold solve of the lowered
+// problem at every step.
+func TestRangedWarmSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(5)
+		costs := make([]float64, n)
+		for j := range costs {
+			costs[j] = 0.5 + rng.Float64()*2
+		}
+		rv := NewRevised(n, costs)
+		p := NewProblem(n)
+		for j, c := range costs {
+			p.SetCost(j, c)
+		}
+		steps := 4 + rng.Intn(5)
+		for s := 0; s < steps; s++ {
+			var terms []Term
+			for j := 0; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					terms = append(terms, Term{j, 1})
+				}
+			}
+			if len(terms) == 0 {
+				terms = []Term{{rng.Intn(n), 1}}
+			}
+			if rng.Intn(2) == 0 {
+				lo := rng.Float64() * 4
+				hi := lo + rng.Float64()*3
+				rv.AddRangedRow(terms, lo, hi)
+				lowerRanged(p, terms, lo, hi)
+			} else {
+				rhs := rng.Float64() * 4
+				rv.AddRow(terms, GE, rhs)
+				p.AddConstraint(terms, GE, rhs, "")
+			}
+			warm, err := rv.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := (&Simplex{}).Solve(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Status != cold.Status {
+				t.Fatalf("trial %d step %d: warm %v cold %v", trial, s, warm.Status, cold.Status)
+			}
+			if warm.Status == Infeasible {
+				break
+			}
+			if math.Abs(warm.Objective-cold.Objective) > 1e-6*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("trial %d step %d: warm %.9g cold %.9g", trial, s, warm.Objective, cold.Objective)
+			}
+		}
+	}
+}

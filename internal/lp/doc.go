@@ -1,0 +1,89 @@
+// Package lp implements linear programming from scratch for the EBF
+// formulation of the LUBT paper (Oh, Pyo, Pedram, DAC 1996). Problems are
+// stated over variables x ≥ 0 with sparse rows Σ aᵢⱼ xⱼ {≤,≥,=} bᵢ and a
+// minimization objective — exactly the shape of the EBF LP: edge lengths
+// are non-negative, Steiner rows are ≥, delay rows are two-sided windows.
+//
+// # Solvers
+//
+// Four solvers share the Problem/Solution vocabulary:
+//
+//   - Simplex: a two-phase dense primal simplex (Dantzig pricing with
+//     Bland's anti-cycling fallback). The cold-start reference: exact
+//     infeasibility certificates, vertex solutions.
+//   - IPM: a Mehrotra predictor-corrector primal-dual interior-point
+//     method, standing in for LOQO, the solver the paper used. No exact
+//     infeasibility certificate (IterLimit/Numerical instead).
+//   - Revised: a sparse revised dual simplex with bounded variables —
+//     the default incremental engine (see below).
+//   - Incremental: a dense-tableau dual simplex, kept as the ablation
+//     baseline for the revised engine.
+//
+// # The RowEngine contract
+//
+// The §4.6 row-generation loop in internal/core is written against the
+// RowEngine interface. Implementations guarantee:
+//
+//   - Rows are append-only. Once added, a row is never removed or
+//     relaxed, so infeasibility is monotone: after any Solve returns
+//     Infeasible, every later Solve returns Infeasible ("sticky").
+//   - Costs are fixed at construction and must be non-negative. This is
+//     what makes the all-nonbasic point dual-feasible, so the dual
+//     simplex needs no phase-1/artificial machinery and a re-solve after
+//     adding k violated rows typically takes O(k) pivots.
+//   - Solve is idempotent: calling it twice without interleaved AddRow /
+//     AddRangedRow returns the same solution without extra pivots.
+//   - Row counting: NumRows (and Stats().LogicalRows) counts rows as the
+//     caller stated them — an EQ or ranged row counts ONCE on every
+//     engine. TableauRows counts engine-internal rows: the boxed revised
+//     engine stores EQ and ranged rows once (bounded slack), the dense
+//     engines lower them to a ≤/≥ pair. Stats().LoweredTableauRows
+//     reports what the two-row lowering would need on every engine, so
+//     the pair (TableauRows, LoweredTableauRows) measures the saving.
+//
+// Engines that additionally implement VarBounder (only Revised) accept
+// variable boxes lo ≤ xⱼ ≤ hi in place of single-variable rows; boxes are
+// construction-time state and panic if changed after the first Solve.
+// Callers type-assert and fall back to an explicit row otherwise.
+//
+// # The bounded-variable (boxed) dual simplex
+//
+// Revised stores every constraint as an equality a·x + s = b with a boxed
+// slack s ∈ [0, slackHi]: slackHi = ∞ is a plain ≤ row, a finite slackHi
+// realizes the ranged row b − slackHi ≤ a·x ≤ b in ONE tableau row, and
+// slackHi = 0 pins an equality. Nonbasic variables rest at either box
+// end; dual feasibility means a non-negative reduced cost at the lower
+// bound, non-positive at the upper bound, and unrestricted for fixed
+// (lo = hi) variables. The dual ratio test is two-sided with
+// bound-flipping: candidates whose box is too narrow to absorb the
+// remaining primal infeasibility flip bound-to-bound (one batched FTRAN
+// per pivot, counted in Stats().BoundFlips) before the absorbing column
+// enters. See DESIGN.md's "Bounded-variable formulation" section for the
+// constraint-kind → row/box mapping table.
+//
+// # Sparse storage invariants (CSR/CSC)
+//
+// The incremental engines share the rowStore, an append-only CSR row
+// store over the ≤-form rows with a CSC twin maintained per append:
+//
+//   - CSR: row k occupies ind/val[ptr[k]:ptr[k+1]]; within a row the
+//     column indices are strictly increasing, coefficients are nonzero
+//     (duplicate Terms are coalesced, exact zeros dropped).
+//   - CSC: cols[j] lists the (row, coef) pairs of structural column j in
+//     strictly increasing row order; it is exactly the transpose of the
+//     CSR view at all times (both sides are updated in one append).
+//   - Slack columns are implicit — only structural coefficients are
+//     stored; Stats().RowNonzeros counts exactly these.
+//
+// # Tolerance conventions
+//
+// All engines use absolute tolerances anchored at 1e-9 on data of O(1)
+// magnitude; the revised engine scales them by the largest stored
+// coefficient/RHS magnitude (feasTol/dualTol). Primal feasibility of a
+// returned Optimal solution is guaranteed to ~1e-7·scale; cross-solver
+// agreement on EBF instances is asserted at 1e-6·radius in the tests,
+// matching internal/core.Verify. The revised engine recovers from
+// numerical drift with an escalation ladder — refactorize the basis,
+// then reset to the all-slack basis, then report Numerical — counted in
+// Stats().Refactorizations and Stats().Resets.
+package lp

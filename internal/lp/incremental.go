@@ -29,6 +29,7 @@ type Incremental struct {
 	iterations  int
 	infeasible  bool
 	logicalRows int
+	rangedRows  int
 }
 
 // NewIncremental starts an engine over n variables (x ≥ 0) with the given
@@ -75,6 +76,10 @@ func (inc *Incremental) Stats() Stats {
 		Pivots:      inc.iterations,
 		LogicalRows: inc.logicalRows,
 		TableauRows: len(inc.rows),
+		// The dense tableau IS the lowered form: every EQ or ranged row is
+		// already split, so the two counts coincide.
+		LoweredTableauRows: len(inc.rows),
+		RangedRows:         inc.rangedRows,
 	}
 	for _, row := range inc.rows {
 		n := len(row)
@@ -101,8 +106,30 @@ func (inc *Incremental) AddRow(terms []Term, op Op, rhs float64) {
 	case GE:
 		inc.addLE(terms, rhs, -1) // −Σ a x ≤ −b
 	case EQ:
+		inc.rangedRows++
 		inc.addLE(terms, rhs, 1)
 		inc.addLE(terms, rhs, -1)
+	}
+}
+
+// AddRangedRow introduces lo ≤ Σ terms ≤ hi as one logical row. The dense
+// tableau has no variable boxes, so the window is lowered to the
+// equivalent one-sided ≤ rows (both sides when finite) — the ablation
+// baseline the boxed revised engine's single-row storage is measured
+// against.
+func (inc *Incremental) AddRangedRow(terms []Term, lo, hi float64) {
+	if lo > hi || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: AddRangedRow with empty window [%g, %g]", lo, hi))
+	}
+	inc.logicalRows++
+	if !math.IsInf(lo, -1) && !math.IsInf(hi, 1) {
+		inc.rangedRows++
+	}
+	if !math.IsInf(hi, 1) {
+		inc.addLE(terms, hi, 1)
+	}
+	if !math.IsInf(lo, -1) {
+		inc.addLE(terms, lo, -1)
 	}
 }
 

@@ -1,16 +1,3 @@
-// Package lp implements linear programming from scratch for the EBF
-// formulation of the LUBT paper. Two solvers are provided behind a common
-// Problem/Solution interface:
-//
-//   - a two-phase dense primal simplex method (Dantzig pricing with Bland's
-//     anti-cycling rule as a fallback), the default; and
-//   - a Mehrotra predictor-corrector primal-dual interior-point method,
-//     standing in for LOQO, the interior-point solver the paper used.
-//
-// Problems are stated over variables x ≥ 0 with sparse rows
-// Σ aᵢⱼ xⱼ {≤,≥,=} bᵢ and a minimization objective; that is exactly the
-// shape of the EBF LP (edge lengths are non-negative, Steiner rows are ≥,
-// delay rows are ranges).
 package lp
 
 import (
@@ -208,23 +195,41 @@ type Solver interface {
 
 // RowEngine is the incremental (cutting-plane) engine interface: rows are
 // appended over time and every Solve warm-starts from the previous basis.
-// Both the sparse revised dual simplex (Revised, the default) and the
-// dense tableau engine (Incremental, kept for ablation) implement it, and
-// the row-generation loop in internal/core is written against it.
+// Both the sparse boxed revised dual simplex (Revised, the default) and
+// the dense tableau engine (Incremental, kept for ablation) implement it,
+// and the row-generation loop in internal/core is written against it.
 type RowEngine interface {
-	// AddRow introduces Σ terms {op} rhs; EQ splits into ≤ and ≥.
+	// AddRow introduces Σ terms {op} rhs. How EQ is realized is
+	// engine-internal: the boxed revised engine stores one row with a
+	// fixed slack, the dense engine splits it into a ≤/≥ pair.
 	AddRow(terms []Term, op Op, rhs float64)
+	// AddRangedRow introduces the two-sided constraint lo ≤ Σ terms ≤ hi
+	// as ONE logical row (either side may be infinite; lo = hi states an
+	// equality). Engines without native ranged rows lower it to the
+	// equivalent one-sided rows; Stats().LoweredTableauRows reports that
+	// lowered count for every engine, so (TableauRows, LoweredTableauRows)
+	// measures what native ranged storage saves.
+	AddRangedRow(terms []Term, lo, hi float64)
 	// Solve re-optimizes and returns the current solution.
 	Solve() (*Solution, error)
-	// NumRows reports logical rows as stated by the caller (an EQ row
-	// counts once); TableauRows reports internal ≤-form rows (an EQ row
-	// splits into two).
+	// NumRows reports logical rows as stated by the caller (an EQ or
+	// ranged row counts once); TableauRows reports engine-internal rows.
 	NumRows() int
 	TableauRows() int
 	// Iterations returns the cumulative pivot count.
 	Iterations() int
 	// Stats returns a snapshot of the engine's observability counters.
 	Stats() Stats
+}
+
+// VarBounder is the optional RowEngine extension for engines that support
+// variable boxes natively: SetVarBounds(j, lo, hi) replaces what would
+// otherwise be a single-variable constraint row (lo = hi fixes the
+// variable — the forced-zero edges of the EBF degree splitting). Callers
+// must type-assert and fall back to an explicit row when the engine does
+// not implement it.
+type VarBounder interface {
+	SetVarBounds(j int, lo, hi float64)
 }
 
 // ErrBadProblem reports a structurally invalid problem.

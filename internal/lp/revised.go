@@ -3,18 +3,26 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"lubt/internal/linalg"
 )
 
 // Revised is a sparse revised dual-simplex engine for cutting planes: the
 // default realization of the §4.6 row-generation loop. Like the dense
-// tableau engine it requires a non-negative objective over x ≥ 0, which
-// makes the all-slack basis dual-feasible (no phase 1, ever); unlike the
-// tableau it never materializes B⁻¹A. Instead it keeps
+// tableau engine it requires a non-negative objective, which makes the
+// all-slack basis dual-feasible (no phase 1, ever); unlike the tableau it
+// never materializes B⁻¹A, and unlike the dense engine it is a
+// *bounded-variable* (boxed) dual simplex: every structural and slack
+// variable carries a box [lo, hi], nonbasic variables rest at either end,
+// and the dual ratio test is two-sided with bound flips. It keeps
 //
 //   - the constraint rows in a shared CSR/CSC rowStore (each EBF row has
-//     only O(tree depth) nonzeros),
+//     only O(tree depth) nonzeros). Every stored row is an equality
+//     a·x + s = b with a boxed slack s ∈ [0, slackHi]: slackHi = ∞ gives a
+//     plain ≤ row, a finite slackHi gives a ranged row l ≤ a·x ≤ b with
+//     l = b − slackHi, and slackHi = 0 pins an equality — so EQ and delay
+//     windows cost ONE tableau row instead of a split pair,
 //   - the basis as a variable list plus an LU factorization — via
 //     internal/linalg — of the basis matrix's *structural core*: the t×t
 //     block over basic non-slack variables, where t is bounded by the
@@ -29,7 +37,19 @@ type Revised struct {
 	nVars int
 	c     []float64 // structural costs, len nVars
 
+	// Structural variable boxes and bound status. Default box is [0, +∞);
+	// SetVarBounds tightens it (lo = hi fixes the variable, which then
+	// never enters the basis). atUpperS marks nonbasic-at-upper.
+	loS, hiS []float64
+	atUpperS []bool
+
 	rows *rowStore
+	// Per-row slack box: slack of row k lives in [0, slackHi[k]].
+	// +∞ = plain ≤ row, finite = ranged row, 0 = equality. atUpperK marks
+	// the slack nonbasic at its upper bound (the row binding at its lower
+	// side l = b − slackHi).
+	slackHi  []float64
+	atUpperK []bool
 
 	// Basis state. Positions 0…m−1 (one per row); basisVar[p] holds a
 	// variable id: structural j < nVars, or nVars+k for the slack of row k.
@@ -46,7 +66,7 @@ type Revised struct {
 	coreRows  []int   // rows whose slack is nonbasic in B₀ (ascending)
 	rowOfCore []int32 // row → index in coreRows, or −1
 	etas      []eta
-	coreMat   *linalg.Matrix // scratch for refactorization
+	coreMat   *linalg.Matrix // scratch for refactorization, resized in place
 
 	xB []float64 // basic variable values, by position
 	y  []float64 // duals, by row
@@ -54,19 +74,24 @@ type Revised struct {
 	dK []float64 // reduced costs of slacks, by row
 
 	// Scratch buffers reused across pivots.
-	alpha   []float64 // pricing row over structural columns
-	colBuf  []float64 // entering column / ftran rhs, by row
-	accBuf  []float64 // structural accumulator inside ftran0, by row
-	posBuf  []float64 // btran intermediate, by position
-	coreRhs []float64 // core-solve right-hand side, len ≥ t
-	coreSol []float64 // core-solve result, len ≥ t
-	refEach int       // pivots between refactorizations
+	alpha   []float64   // pricing row over structural columns
+	colBuf  []float64   // entering column / ftran rhs, by row
+	accBuf  []float64   // structural accumulator inside ftran0, by row
+	posBuf  []float64   // btran intermediate, by position
+	coreRhs []float64   // core-solve right-hand side, len ≥ t
+	coreSol []float64   // core-solve result, len ≥ t
+	cands   []ratioCand // two-sided ratio-test candidates
+	refEach int         // pivots between refactorizations
 
-	dirty          bool // rows added since the last factorization
+	dirty          bool // rows/bounds changed since the last factorization
 	justRefactored bool
 	infeasible     bool
+	solved         bool // a Solve has run (gates SetVarBounds)
 	iterations     int
 	logicalRows    int
+	rangedRows     int
+	loweredRows    int
+	boundFlips     int
 	stats          Stats
 }
 
@@ -79,19 +104,35 @@ type eta struct {
 	val  []float64
 }
 
+// ratioCand is one candidate of the two-sided dual ratio test: a nonbasic
+// variable whose movement off its bound drives the leaving basic variable
+// back toward its violated bound.
+type ratioCand struct {
+	id    int     // structural j, or nVars+k for the slack of row k
+	alpha float64 // signed pricing value α of the candidate column
+	ratio float64 // |d| / |α| ≥ 0, the dual step this candidate allows
+	width float64 // box width hi − lo (may be +∞)
+}
+
 // NewRevised starts a revised dual-simplex engine over n variables
-// (x ≥ 0) with the given non-negative objective (length n; shorter is
-// zero-padded). It panics on a negative cost, which would make the empty
-// basis dual-infeasible.
+// (default box [0, ∞) each) with the given non-negative objective
+// (length n; shorter is zero-padded). It panics on a negative cost, which
+// would make the all-at-lower-bound point dual-infeasible.
 func NewRevised(n int, objective []float64) *Revised {
 	rv := &Revised{
-		tol:     1e-9,
-		nVars:   n,
-		c:       make([]float64, n),
-		rows:    newRowStore(n),
-		dS:      make([]float64, n),
-		alpha:   make([]float64, n),
-		refEach: 64,
+		tol:      1e-9,
+		nVars:    n,
+		c:        make([]float64, n),
+		loS:      make([]float64, n),
+		hiS:      make([]float64, n),
+		atUpperS: make([]bool, n),
+		rows:     newRowStore(n),
+		dS:       make([]float64, n),
+		alpha:    make([]float64, n),
+		refEach:  64,
+	}
+	for j := range rv.hiS {
+		rv.hiS[j] = math.Inf(1)
 	}
 	rv.posOfStruct = make([]int32, n)
 	for j := range rv.posOfStruct {
@@ -109,14 +150,40 @@ func NewRevised(n int, objective []float64) *Revised {
 	return rv
 }
 
+// SetVarBounds boxes structural variable j into [lo, hi] (lo = hi fixes
+// it; the EBF loop uses this for forced-zero edges from degree splitting).
+// It must be called before the first Solve — afterwards the basis state
+// would silently disagree with the new box — and panics otherwise, as it
+// does for lo > hi or an out-of-range variable.
+func (rv *Revised) SetVarBounds(j int, lo, hi float64) {
+	if j < 0 || j >= rv.nVars {
+		panic(fmt.Sprintf("lp: SetVarBounds on variable %d of %d", j, rv.nVars))
+	}
+	if lo > hi || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: SetVarBounds var %d with empty box [%g, %g]", j, lo, hi))
+	}
+	if rv.solved {
+		panic("lp: SetVarBounds after the first Solve")
+	}
+	rv.loS[j] = lo
+	rv.hiS[j] = hi
+	rv.atUpperS[j] = false
+	rv.dirty = true // warm-seeded basic values may assume the old box
+}
+
 // NumRows returns the number of logical constraint rows added via AddRow
-// (an EQ row counts once). TableauRows reports the internal ≤-form count.
+// or AddRangedRow (a ranged or EQ row counts once). TableauRows reports
+// the engine-internal row count.
 func (rv *Revised) NumRows() int { return rv.logicalRows }
 
-// TableauRows returns the internal ≤-form row count (EQ rows count twice).
+// TableauRows returns the engine-internal row count. The boxed engine
+// stores EQ and ranged rows as a single row with a fixed/boxed slack, so
+// here — unlike the dense tableau — they count once; compare against
+// Stats().LoweredTableauRows for what the two-row lowering would cost.
 func (rv *Revised) TableauRows() int { return rv.rows.numRows() }
 
-// Iterations returns the cumulative dual-simplex pivot count.
+// Iterations returns the cumulative dual-simplex pivot count (bound flips
+// are not pivots and are counted separately in Stats).
 func (rv *Revised) Iterations() int { return rv.iterations }
 
 // Stats returns a snapshot of the engine's observability counters.
@@ -125,32 +192,70 @@ func (rv *Revised) Stats() Stats {
 	s.Pivots = rv.iterations
 	s.LogicalRows = rv.logicalRows
 	s.TableauRows = rv.rows.numRows()
+	s.LoweredTableauRows = rv.loweredRows
+	s.RangedRows = rv.rangedRows
+	s.BoundFlips = rv.boundFlips
 	s.RowNonzeros = rv.rows.nnz()
 	return s
 }
 
-// AddRow introduces the constraint Σ terms {op} rhs. EQ rows are split
-// into a ≤ and a ≥ row. The engine becomes primal-infeasible until the
-// next Solve call.
+// AddRow introduces the constraint Σ terms {op} rhs. A GE row is negated
+// into ≤ form; an EQ row becomes ONE row whose slack is fixed at zero (no
+// ≤/≥ split). The engine becomes primal-infeasible until the next Solve.
 func (rv *Revised) AddRow(terms []Term, op Op, rhs float64) {
 	rv.logicalRows++
 	switch op {
 	case LE:
-		rv.addLE(terms, rhs, 1)
+		rv.loweredRows++
+		rv.addLE(terms, rhs, 1, math.Inf(1))
 	case GE:
-		rv.addLE(terms, rhs, -1)
+		rv.loweredRows++
+		rv.addLE(terms, rhs, -1, math.Inf(1))
 	case EQ:
-		rv.addLE(terms, rhs, 1)
-		rv.addLE(terms, rhs, -1)
+		rv.loweredRows += 2
+		rv.rangedRows++
+		rv.addLE(terms, rhs, 1, 0)
 	}
 }
 
-func (rv *Revised) addLE(terms []Term, rhs float64, sign float64) {
+// AddRangedRow introduces the two-sided constraint lo ≤ Σ terms ≤ hi as
+// ONE logical row: the row is stored once with its slack boxed into
+// [0, hi−lo] (fixed at zero when lo = hi). Either side may be infinite,
+// degrading to a plain one-sided row; a fully unbounded window adds no
+// tableau row at all. This is how the EBF delay windows of §4 enter the
+// engine without the two-row lowering the dense engines need.
+func (rv *Revised) AddRangedRow(terms []Term, lo, hi float64) {
+	if lo > hi || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: AddRangedRow with empty window [%g, %g]", lo, hi))
+	}
+	rv.logicalRows++
+	infLo, infHi := math.IsInf(lo, -1), math.IsInf(hi, 1)
+	switch {
+	case infLo && infHi:
+		// Vacuous window: logical row only.
+	case infLo:
+		rv.loweredRows++
+		rv.addLE(terms, hi, 1, math.Inf(1))
+	case infHi:
+		rv.loweredRows++
+		rv.addLE(terms, lo, -1, math.Inf(1))
+	default:
+		rv.loweredRows += 2
+		rv.rangedRows++
+		rv.addLE(terms, hi, 1, hi-lo)
+	}
+}
+
+// addLE appends the row sign·(Σ terms) ≤ sign·rhs with the slack boxed
+// into [0, sHi].
+func (rv *Revised) addLE(terms []Term, rhs float64, sign float64, sHi float64) {
 	k := rv.rows.numRows()
 	rv.rows.appendLE(terms, rhs, sign)
 	// The new row's slack enters the basis at the new position.
 	rv.basisVar = append(rv.basisVar, rv.nVars+k)
 	rv.posOfSlack = append(rv.posOfSlack, int32(k))
+	rv.slackHi = append(rv.slackHi, sHi)
+	rv.atUpperK = append(rv.atUpperK, false)
 	rv.xB = append(rv.xB, 0)
 	rv.y = append(rv.y, 0)
 	rv.dK = append(rv.dK, 0)
@@ -167,38 +272,106 @@ func (rv *Revised) addLE(terms []Term, rhs float64, sign float64) {
 	// B₀ into the bordered matrix [B₀ 0; a₀ᵀ 1] — whose structural core is
 	// unchanged, so the LU stays valid and ftran0/btran0 pick up the border
 	// through baseVar. Seed the new basic value from the current structural
-	// solution instead of refactorizing; Solve refactorizes on optimality
-	// exactly so that this path is available to the next cutting-plane
-	// batch.
+	// solution (basic values plus nonbasic bound values) instead of
+	// refactorizing; Solve refactorizes on optimality exactly so that this
+	// path is available to the next cutting-plane batch.
 	act := 0.0
 	ind, val := rv.rows.row(k)
 	for q, j := range ind {
-		if p := rv.posOfStruct[j]; p >= 0 {
-			act += val[q] * rv.xB[p]
-		}
+		act += val[q] * rv.structVal(int(j))
 	}
 	rv.baseVar = append(rv.baseVar, rv.nVars+k)
 	rv.xB[k] = rv.rows.rhs[k] - act
 	rv.justRefactored = false
 }
 
-// reset returns to the all-slack basis (always dual-feasible for c ≥ 0):
-// the numerical-trouble escape hatch, equivalent to a cold dual start.
+// structVal returns the current value of structural variable j: its basic
+// value when basic, its resting bound when nonbasic.
+func (rv *Revised) structVal(j int) float64 {
+	if p := rv.posOfStruct[j]; p >= 0 {
+		return rv.xB[p]
+	}
+	if rv.atUpperS[j] {
+		return rv.hiS[j]
+	}
+	return rv.loS[j]
+}
+
+// nbSlackVal returns the resting value of the (nonbasic) slack of row k.
+func (rv *Revised) nbSlackVal(k int) float64 {
+	if rv.atUpperK[k] {
+		return rv.slackHi[k]
+	}
+	return 0
+}
+
+// boxOf returns the box of variable id (structural or slack).
+func (rv *Revised) boxOf(id int) (lo, hi float64) {
+	if id < rv.nVars {
+		return rv.loS[id], rv.hiS[id]
+	}
+	return 0, rv.slackHi[id-rv.nVars]
+}
+
+// nbVal returns the resting value of nonbasic variable id.
+func (rv *Revised) nbVal(id int) float64 {
+	if id < rv.nVars {
+		if rv.atUpperS[id] {
+			return rv.hiS[id]
+		}
+		return rv.loS[id]
+	}
+	return rv.nbSlackVal(id - rv.nVars)
+}
+
+// effRHS writes b − N·x_N into out (indexed by row): the right-hand side
+// the basis actually has to cover once every nonbasic variable rests at
+// its bound (nonzero lower bounds, flipped-to-upper variables, and ranged
+// slacks parked at their width all contribute).
+func (rv *Revised) effRHS(out []float64) {
+	m := rv.rows.numRows()
+	copy(out, rv.rows.rhs)
+	for j := 0; j < rv.nVars; j++ {
+		if rv.posOfStruct[j] >= 0 {
+			continue
+		}
+		v := rv.structVal(j)
+		if v == 0 {
+			continue
+		}
+		for _, ce := range rv.rows.col(j) {
+			out[ce.row] -= ce.coef * v
+		}
+	}
+	for k := 0; k < m; k++ {
+		if rv.posOfSlack[k] < 0 {
+			if v := rv.nbSlackVal(k); v != 0 {
+				out[k] -= v
+			}
+		}
+	}
+}
+
+// reset returns to the all-slack basis with every structural variable at
+// its lower bound (always dual-feasible for c ≥ 0): the numerical-trouble
+// escape hatch, equivalent to a cold dual start.
 func (rv *Revised) reset() {
 	m := rv.rows.numRows()
 	for j := range rv.posOfStruct {
 		rv.posOfStruct[j] = -1
+		rv.atUpperS[j] = false
 	}
 	rv.baseVar = rv.baseVar[:0]
 	for k := 0; k < m; k++ {
 		rv.basisVar[k] = rv.nVars + k
 		rv.posOfSlack[k] = int32(k)
+		rv.atUpperK[k] = false
 		rv.rowOfCore[k] = -1
-		rv.xB[k] = rv.rows.rhs[k]
 		rv.y[k] = 0
 		rv.dK[k] = 0
 		rv.baseVar = append(rv.baseVar, rv.nVars+k)
 	}
+	rv.effRHS(rv.xB[:m])
 	copy(rv.dS, rv.c)
 	rv.etas = rv.etas[:0]
 	rv.lu = nil
@@ -247,12 +420,12 @@ func (rv *Revised) refactorize() bool {
 	rv.stats.Refactorizations++
 	rv.stats.BasisSize = t
 	if t > 0 {
-		if rv.coreMat == nil || rv.coreMat.Rows != t {
+		if rv.coreMat == nil {
 			rv.coreMat = linalg.NewMatrix(t, t)
 		} else {
-			for i := range rv.coreMat.Data {
-				rv.coreMat.Data[i] = 0
-			}
+			// Reuse the scratch matrix's backing storage across basis-core
+			// growth instead of reallocating every time t changes.
+			rv.coreMat.Reshape(t, t)
 		}
 		nnzCore := 0
 		for ci, p := range rv.coreCols {
@@ -278,10 +451,12 @@ func (rv *Revised) refactorize() bool {
 		rv.lu = nil
 		rv.stats.FillIn = 0
 	}
-	// Recompute the primal basic values xB = B⁻¹ b.
-	copy(rv.colBuf, rv.rows.rhs)
+	// Recompute the primal basic values xB = B⁻¹ (b − N x_N).
+	rv.effRHS(rv.colBuf)
 	rv.ftran0(rv.colBuf, rv.xB)
-	// Recompute duals y = B⁻ᵀ cB and reduced costs d = c − Aᵀy.
+	// Recompute duals y = B⁻ᵀ cB and reduced costs d = c − Aᵀy, clamped to
+	// the dual-feasible side of each nonbasic variable's status: ≥ 0 at a
+	// lower bound, ≤ 0 at an upper bound, unrestricted for fixed variables.
 	for p := 0; p < m; p++ {
 		if v := rv.basisVar[p]; v < rv.nVars {
 			rv.posBuf[p] = rv.c[v]
@@ -297,25 +472,49 @@ func (rv *Revised) refactorize() bool {
 		for _, ce := range rv.rows.col(j) {
 			d -= rv.y[ce.row] * ce.coef
 		}
-		if rv.posOfStruct[j] >= 0 {
+		switch {
+		case rv.posOfStruct[j] >= 0:
 			d = 0
-		} else if d < 0 {
-			if d < -1e3*dTol {
-				ok = false
+		case rv.loS[j] == rv.hiS[j]:
+			// Fixed: any reduced cost is dual-feasible.
+		case rv.atUpperS[j]:
+			if d > 0 {
+				if d > 1e3*dTol {
+					ok = false
+				}
+				d = 0
 			}
-			d = 0
+		default:
+			if d < 0 {
+				if d < -1e3*dTol {
+					ok = false
+				}
+				d = 0
+			}
 		}
 		rv.dS[j] = d
 	}
 	for k := 0; k < m; k++ {
 		d := -rv.y[k]
-		if rv.posOfSlack[k] >= 0 {
+		switch {
+		case rv.posOfSlack[k] >= 0:
 			d = 0
-		} else if d < 0 {
-			if d < -1e3*dTol {
-				ok = false
+		case rv.slackHi[k] == 0:
+			// Fixed slack (equality row): unrestricted.
+		case rv.atUpperK[k]:
+			if d > 0 {
+				if d > 1e3*dTol {
+					ok = false
+				}
+				d = 0
 			}
-			d = 0
+		default:
+			if d < 0 {
+				if d < -1e3*dTol {
+					ok = false
+				}
+				d = 0
+			}
 		}
 		rv.dK[k] = d
 	}
@@ -451,17 +650,18 @@ func (rv *Revised) btranPos(pos int, rho []float64) {
 	rv.btran0(u, rho)
 }
 
-// Solve re-optimizes with the revised dual simplex and returns the
-// current solution. Status is Optimal or Infeasible (a non-negative
-// objective over x ≥ 0 can never be unbounded); Numerical/IterLimit
-// report trouble.
+// Solve re-optimizes with the bounded-variable revised dual simplex and
+// returns the current solution. Status is Optimal or Infeasible (a
+// non-negative objective over boxed-below variables can never be
+// unbounded); Numerical/IterLimit report trouble.
 func (rv *Revised) Solve() (*Solution, error) {
+	rv.solved = true
 	if rv.infeasible {
 		return &Solution{Status: Infeasible, Iterations: rv.iterations}, nil
 	}
 	m := rv.rows.numRows()
 	if m == 0 {
-		return &Solution{Status: Optimal, X: make([]float64, rv.nVars), Iterations: rv.iterations}, nil
+		return rv.extract(), nil
 	}
 	if rv.dirty || (rv.lu == nil && len(rv.coreCols) > 0) {
 		rv.refactorize()
@@ -474,16 +674,24 @@ func (rv *Revised) Solve() (*Solution, error) {
 	maxIter := 20000 + 200*(m+rv.nVars+m)
 	rho := make([]float64, m)
 	w := make([]float64, m)
+	flipRow := make([]float64, m)
+	flipZ := make([]float64, m)
 	resets := 0
+	const aTol = 1e-9
 	for iter := 0; ; iter++ {
 		if iter >= maxIter {
 			return &Solution{Status: IterLimit, Iterations: rv.iterations}, nil
 		}
-		// Leaving position: most negative basic value.
-		r, worst := -1, -feasTol
+		// Leaving position: the basic variable furthest outside its box,
+		// on either side.
+		r, worst, above := -1, feasTol, false
 		for p := 0; p < m; p++ {
-			if rv.xB[p] < worst {
-				r, worst = p, rv.xB[p]
+			lo, hi := rv.boxOf(rv.basisVar[p])
+			if d := lo - rv.xB[p]; d > worst {
+				r, worst, above = p, d, false
+			}
+			if d := rv.xB[p] - hi; d > worst {
+				r, worst, above = p, d, true
 			}
 		}
 		if r < 0 {
@@ -505,35 +713,100 @@ func (rv *Revised) Solve() (*Solution, error) {
 				rv.alpha[j] += val[q] * rk
 			}
 		}
-		// Dual ratio test over negative pivot candidates; ties break on
-		// the smallest variable id (deterministic, Bland-like).
-		const aTol = 1e-9
-		enter, best, bestAlpha := -1, math.Inf(1), 0.0
+		// Two-sided dual ratio test. dir is the direction xB[r] must move
+		// to re-enter its box; a nonbasic variable qualifies when leaving
+		// its bound pushes xB[r] that way: at-lower variables need
+		// dir·α < 0 (they can only increase), at-upper variables dir·α > 0
+		// (they can only decrease). Fixed variables (zero width) never
+		// enter. The candidate list is sorted by dual ratio with the
+		// variable id as a deterministic tie-break.
+		dir := 1.0
+		if above {
+			dir = -1
+		}
+		cands := rv.cands[:0]
 		for j := 0; j < rv.nVars; j++ {
-			a := rv.alpha[j]
-			if a >= -aTol || rv.posOfStruct[j] >= 0 {
+			if rv.posOfStruct[j] >= 0 {
 				continue
 			}
-			ratio := rv.dS[j] / -a
-			if ratio < best-rv.tol || (ratio < best+rv.tol && (enter < 0 || j < enter)) {
-				enter, best, bestAlpha = j, ratio, a
+			width := rv.hiS[j] - rv.loS[j]
+			if width <= 0 {
+				continue
 			}
+			a := rv.alpha[j]
+			at := dir * a
+			var d float64
+			if rv.atUpperS[j] {
+				if at <= aTol {
+					continue
+				}
+				d = -rv.dS[j]
+			} else {
+				if at >= -aTol {
+					continue
+				}
+				d = rv.dS[j]
+			}
+			if d < 0 {
+				d = 0
+			}
+			cands = append(cands, ratioCand{j, a, d / math.Abs(a), width})
 		}
 		for k := 0; k < m; k++ {
-			a := rho[k]
-			if a >= -aTol || rv.posOfSlack[k] >= 0 {
+			if rv.posOfSlack[k] >= 0 {
 				continue
 			}
-			ratio := rv.dK[k] / -a
-			id := rv.nVars + k
-			if ratio < best-rv.tol || (ratio < best+rv.tol && (enter < 0 || id < enter)) {
-				enter, best, bestAlpha = id, ratio, a
+			width := rv.slackHi[k]
+			if width <= 0 {
+				continue
 			}
+			a := rho[k]
+			at := dir * a
+			var d float64
+			if rv.atUpperK[k] {
+				if at <= aTol {
+					continue
+				}
+				d = -rv.dK[k]
+			} else {
+				if at >= -aTol {
+					continue
+				}
+				d = rv.dK[k]
+			}
+			if d < 0 {
+				d = 0
+			}
+			cands = append(cands, ratioCand{rv.nVars + k, a, d / math.Abs(a), width})
 		}
-		if enter < 0 {
-			// Row r reads Σ (≥0 coefficients over nonbasics) = negative:
-			// infeasible — unless the factorization has drifted; verify
-			// against a fresh one before certifying.
+		rv.cands = cands
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].ratio != cands[b].ratio {
+				return cands[a].ratio < cands[b].ratio
+			}
+			return cands[a].id < cands[b].id
+		})
+		// Bound-flipping walk: a candidate whose full box traversal cannot
+		// absorb the remaining infeasibility is flipped to its other bound
+		// (its reduced cost crosses zero below the final dual step, so the
+		// flip keeps dual feasibility); the first candidate that can absorb
+		// it enters the basis.
+		remaining := worst
+		enterIdx := -1
+		for ci := range cands {
+			capac := cands[ci].width * math.Abs(cands[ci].alpha)
+			if !math.IsInf(cands[ci].width, 1) && capac < remaining {
+				remaining -= capac
+				continue
+			}
+			enterIdx = ci
+			break
+		}
+		if enterIdx < 0 {
+			// Even sending every eligible nonbasic to its other bound
+			// cannot bring row r back inside its box: infeasible — unless
+			// the factorization has drifted; verify against a fresh one
+			// before certifying.
 			if !rv.justRefactored {
 				rv.refactorize()
 				continue
@@ -541,6 +814,45 @@ func (rv *Revised) Solve() (*Solution, error) {
 			rv.infeasible = true
 			return &Solution{Status: Infeasible, Iterations: rv.iterations}, nil
 		}
+		// Apply the accumulated bound flips in one FTRAN: xB ← xB − B⁻¹Δ
+		// with Δ = Σ a_j·Δx_j over the flipped columns.
+		if enterIdx > 0 {
+			for k := 0; k < m; k++ {
+				flipRow[k] = 0
+			}
+			for _, cd := range cands[:enterIdx] {
+				var delta float64
+				if cd.id < rv.nVars {
+					if rv.atUpperS[cd.id] {
+						delta = -cd.width
+						rv.atUpperS[cd.id] = false
+					} else {
+						delta = cd.width
+						rv.atUpperS[cd.id] = true
+					}
+					for _, ce := range rv.rows.col(cd.id) {
+						flipRow[ce.row] += ce.coef * delta
+					}
+				} else {
+					k := cd.id - rv.nVars
+					if rv.atUpperK[k] {
+						delta = -cd.width
+						rv.atUpperK[k] = false
+					} else {
+						delta = cd.width
+						rv.atUpperK[k] = true
+					}
+					flipRow[k] += delta
+				}
+			}
+			rv.ftran(flipRow, flipZ)
+			for p := 0; p < m; p++ {
+				rv.xB[p] -= flipZ[p]
+			}
+			rv.boundFlips += enterIdx
+		}
+		enter := cands[enterIdx].id
+		bestAlpha := cands[enterIdx].alpha
 		// FTRAN the entering column.
 		for k := 0; k < m; k++ {
 			rv.colBuf[k] = 0
@@ -557,6 +869,8 @@ func (rv *Revised) Solve() (*Solution, error) {
 			// Pivot disagreement between the pricing row and the FTRAN
 			// column: the eta file has drifted. Refactor; if that does not
 			// help, restart from the all-slack basis; give up after that.
+			// (Any bound flips already taken above are valid state on their
+			// own and survive the recovery.)
 			if !rv.justRefactored {
 				rv.refactorize()
 				continue
@@ -575,40 +889,73 @@ func (rv *Revised) Solve() (*Solution, error) {
 			dEnter = rv.dK[enter-rv.nVars]
 		}
 		thetaD := dEnter / w[r]
-		thetaP := rv.xB[r] / w[r]
+		// Primal step: drive xB[r] exactly onto its violated bound; the
+		// entering variable leaves its resting bound by Δx.
+		leave := rv.basisVar[r]
+		loL, hiL := rv.boxOf(leave)
+		bound := loL
+		if above {
+			bound = hiL
+		}
+		deltaX := (rv.xB[r] - bound) / w[r]
 		for p := 0; p < m; p++ {
 			if p != r && w[p] != 0 {
-				rv.xB[p] -= thetaP * w[p]
+				rv.xB[p] -= deltaX * w[p]
 			}
 		}
-		rv.xB[r] = thetaP
+		rv.xB[r] = rv.nbVal(enter) + deltaX
 		if thetaD != 0 {
 			for k := 0; k < m; k++ {
 				if rho[k] != 0 {
 					rv.y[k] += thetaD * rho[k]
 				}
 				d := rv.dK[k] - thetaD*rho[k]
-				if d < 0 {
-					d = 0
+				if rv.posOfSlack[k] < 0 && rv.slackHi[k] != 0 {
+					if rv.atUpperK[k] {
+						if d > 0 {
+							d = 0
+						}
+					} else if d < 0 {
+						d = 0
+					}
 				}
 				rv.dK[k] = d
 			}
 			for j := 0; j < rv.nVars; j++ {
 				d := rv.dS[j] - thetaD*rv.alpha[j]
-				if d < 0 {
-					d = 0
+				if rv.posOfStruct[j] < 0 && rv.loS[j] != rv.hiS[j] {
+					if rv.atUpperS[j] {
+						if d > 0 {
+							d = 0
+						}
+					} else if d < 0 {
+						d = 0
+					}
 				}
 				rv.dS[j] = d
 			}
 		}
-		// Book-keeping: swap basis membership, record the eta.
-		leave := rv.basisVar[r]
+		// Book-keeping: swap basis membership, record the eta. The leaving
+		// variable lands on the bound it violated: NB-at-lower when it fell
+		// below, NB-at-upper when it rose above; its reduced cost becomes
+		// −θ_D, which has the dual-feasible sign for that side.
 		if leave < rv.nVars {
 			rv.posOfStruct[leave] = -1
-			rv.dS[leave] = math.Max(0, -thetaD)
+			rv.atUpperS[leave] = above
+			if above {
+				rv.dS[leave] = math.Min(0, -thetaD)
+			} else {
+				rv.dS[leave] = math.Max(0, -thetaD)
+			}
 		} else {
-			rv.posOfSlack[leave-rv.nVars] = -1
-			rv.dK[leave-rv.nVars] = math.Max(0, -thetaD)
+			sk := leave - rv.nVars
+			rv.posOfSlack[sk] = -1
+			rv.atUpperK[sk] = above
+			if above {
+				rv.dK[sk] = math.Min(0, -thetaD)
+			} else {
+				rv.dK[sk] = math.Max(0, -thetaD)
+			}
 		}
 		rv.basisVar[r] = enter
 		if enter < rv.nVars {
@@ -632,25 +979,35 @@ func (rv *Revised) Solve() (*Solution, error) {
 			rv.refactorize()
 		}
 	}
-	x := make([]float64, rv.nVars)
-	for p := 0; p < m; p++ {
-		if v := rv.basisVar[p]; v < rv.nVars {
-			val := rv.xB[p]
-			if val < 0 && val > -1e-7*(1+math.Abs(rv.rows.rhs[p])) {
-				val = 0
-			}
-			x[v] = val
-		}
-	}
-	var obj float64
-	for j, cj := range rv.c {
-		obj += cj * x[j]
-	}
+	sol := rv.extract()
 	if len(rv.etas) > 0 {
 		// Clear the eta file while idle so the next AddRow batch can take
 		// the warm bordered-extension path instead of forcing a cold
 		// refactorization at the start of the next round.
 		rv.refactorize()
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: rv.iterations}, nil
+	return sol, nil
+}
+
+// extract assembles the Optimal solution from the current basis: basic
+// values (snapped into their boxes within tolerance) plus nonbasic
+// resting bounds.
+func (rv *Revised) extract() *Solution {
+	x := make([]float64, rv.nVars)
+	snap := 1e-7 * (1 + rv.feasTol()/math.Max(rv.tol, 1e-300))
+	for j := 0; j < rv.nVars; j++ {
+		v := rv.structVal(j)
+		if lo := rv.loS[j]; v < lo && v > lo-snap {
+			v = lo
+		}
+		if hi := rv.hiS[j]; v > hi && v < hi+snap {
+			v = hi
+		}
+		x[j] = v
+	}
+	var obj float64
+	for j, cj := range rv.c {
+		obj += cj * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: rv.iterations}
 }

@@ -124,27 +124,40 @@ func TestRevisedPanicsOnBadVar(t *testing.T) {
 }
 
 // TestRowCountsRegression pins the NumRows/TableauRows contract on both
-// incremental engines: NumRows counts logical rows (EQ once), TableauRows
-// counts internal ≤-form rows (EQ twice). Regression for the earlier
-// doc/behavior mismatch where NumRows silently reported tableau rows.
+// incremental engines: NumRows counts logical rows (EQ once) everywhere,
+// while TableauRows is engine-internal — the boxed revised engine stores
+// an EQ row once (fixed slack), the dense tableau splits it into a ≤/≥
+// pair. Stats().LoweredTableauRows reports the split count for both, so
+// the pair (TableauRows, LoweredTableauRows) exposes the saving.
 func TestRowCountsRegression(t *testing.T) {
-	engines := map[string]RowEngine{
-		"revised": NewRevised(2, []float64{1, 1}),
-		"dense":   NewIncremental(2, []float64{1, 1}),
+	cases := []struct {
+		name        string
+		eng         RowEngine
+		wantTableau int
+	}{
+		{"revised", NewRevised(2, []float64{1, 1}), 3},
+		{"dense", NewIncremental(2, []float64{1, 1}), 4},
 	}
-	for name, eng := range engines {
+	for _, tc := range cases {
+		eng := tc.eng
 		eng.AddRow([]Term{{0, 1}}, GE, 1)
 		eng.AddRow([]Term{{1, 1}}, LE, 5)
 		eng.AddRow([]Term{{0, 1}, {1, 1}}, EQ, 3)
 		if got := eng.NumRows(); got != 3 {
-			t.Errorf("%s: NumRows = %d, want 3 logical", name, got)
+			t.Errorf("%s: NumRows = %d, want 3 logical", tc.name, got)
 		}
-		if got := eng.TableauRows(); got != 4 {
-			t.Errorf("%s: TableauRows = %d, want 4 (EQ splits)", name, got)
+		if got := eng.TableauRows(); got != tc.wantTableau {
+			t.Errorf("%s: TableauRows = %d, want %d", tc.name, got, tc.wantTableau)
 		}
 		st := eng.Stats()
-		if st.LogicalRows != 3 || st.TableauRows != 4 {
-			t.Errorf("%s: Stats rows %d/%d, want 3/4", name, st.LogicalRows, st.TableauRows)
+		if st.LogicalRows != 3 || st.TableauRows != tc.wantTableau {
+			t.Errorf("%s: Stats rows %d/%d, want 3/%d", tc.name, st.LogicalRows, st.TableauRows, tc.wantTableau)
+		}
+		if st.LoweredTableauRows != 4 {
+			t.Errorf("%s: LoweredTableauRows = %d, want 4 (EQ lowers to two rows)", tc.name, st.LoweredTableauRows)
+		}
+		if st.RangedRows != 1 {
+			t.Errorf("%s: RangedRows = %d, want 1 (the EQ row)", tc.name, st.RangedRows)
 		}
 	}
 }
@@ -395,11 +408,14 @@ func TestRevisedStatsPopulated(t *testing.T) {
 	if st.Pivots == 0 {
 		t.Error("Pivots = 0 after a non-trivial solve")
 	}
-	if st.LogicalRows != 3 || st.TableauRows != 4 {
-		t.Errorf("rows %d/%d, want 3/4", st.LogicalRows, st.TableauRows)
+	if st.LogicalRows != 3 || st.TableauRows != 3 {
+		t.Errorf("rows %d/%d, want 3/3 (EQ is one boxed row)", st.LogicalRows, st.TableauRows)
 	}
-	if st.RowNonzeros != 8 {
-		t.Errorf("RowNonzeros = %d, want 8", st.RowNonzeros)
+	if st.LoweredTableauRows != 4 {
+		t.Errorf("LoweredTableauRows = %d, want 4", st.LoweredTableauRows)
+	}
+	if st.RowNonzeros != 6 {
+		t.Errorf("RowNonzeros = %d, want 6", st.RowNonzeros)
 	}
 	if st.Refactorizations == 0 {
 		t.Error("Refactorizations = 0; first solve always factors")

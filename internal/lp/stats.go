@@ -28,13 +28,24 @@ type Stats struct {
 	// FillIn is nnz(L+U) − nnz(core) at the last refactorization: extra
 	// nonzeros the LU factorization introduced beyond the basis core.
 	FillIn int
-	// LogicalRows counts constraint rows as stated by the caller (an EQ
-	// row counts once). TableauRows counts internal ≤-form rows (an EQ row
-	// splits into two). RowNonzeros is the nonzero count of the sparse row
-	// store.
-	LogicalRows int
-	TableauRows int
-	RowNonzeros int
+	// LogicalRows counts constraint rows as stated by the caller (an EQ or
+	// ranged row counts once). TableauRows counts engine-internal rows:
+	// the boxed revised engine stores EQ and ranged rows once (the slack
+	// is fixed/boxed), while the dense engines lower them to a ≤/≥ pair.
+	// LoweredTableauRows is the row count the two-row lowering would need
+	// — the before/after pair (TableauRows, LoweredTableauRows) measures
+	// the delay-window row halving. RowNonzeros is the nonzero count of
+	// the stored constraint rows.
+	LogicalRows        int
+	TableauRows        int
+	LoweredTableauRows int
+	RowNonzeros        int
+	// RangedRows counts logical rows stated with a two-sided (or exact)
+	// window — the rows a boxed engine keeps single. BoundFlips counts
+	// nonbasic bound-to-bound flips taken inside the two-sided dual ratio
+	// test (flips are not pivots: they cost one shared FTRAN per batch).
+	RangedRows int
+	BoundFlips int
 
 	// Rounds is the number of row-generation rounds (filled by
 	// internal/core).
@@ -55,6 +66,7 @@ func (s *Stats) Merge(other Stats) {
 	s.Pivots += other.Pivots
 	s.Refactorizations += other.Refactorizations
 	s.Resets += other.Resets
+	s.BoundFlips += other.BoundFlips
 	s.Rounds += other.Rounds
 	s.SeparationTime += other.SeparationTime
 	s.SolveTime += other.SolveTime
@@ -71,6 +83,12 @@ func (s *Stats) Merge(other Stats) {
 	if other.TableauRows > 0 {
 		s.TableauRows = other.TableauRows
 	}
+	if other.LoweredTableauRows > 0 {
+		s.LoweredTableauRows = other.LoweredTableauRows
+	}
+	if other.RangedRows > 0 {
+		s.RangedRows = other.RangedRows
+	}
 	if other.RowNonzeros > 0 {
 		s.RowNonzeros = other.RowNonzeros
 	}
@@ -79,10 +97,10 @@ func (s *Stats) Merge(other Stats) {
 // String renders a compact one-stop summary (used by cmd/lubt --stats).
 func (s Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "pivots %d  refactorizations %d  basis %d  fill-in %d  resets %d\n",
-		s.Pivots, s.Refactorizations, s.BasisSize, s.FillIn, s.Resets)
-	fmt.Fprintf(&b, "rows %d logical / %d tableau  nnz %d  rounds %d\n",
-		s.LogicalRows, s.TableauRows, s.RowNonzeros, s.Rounds)
+	fmt.Fprintf(&b, "pivots %d  bound-flips %d  refactorizations %d  basis %d  fill-in %d  resets %d\n",
+		s.Pivots, s.BoundFlips, s.Refactorizations, s.BasisSize, s.FillIn, s.Resets)
+	fmt.Fprintf(&b, "rows %d logical / %d tableau (%d lowered, %d ranged)  nnz %d  rounds %d\n",
+		s.LogicalRows, s.TableauRows, s.LoweredTableauRows, s.RangedRows, s.RowNonzeros, s.Rounds)
 	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
 	if len(s.ViolatedByRound) > 0 {
 		fmt.Fprintf(&b, "\nviolated/round %v", s.ViolatedByRound)

@@ -1,5 +1,3 @@
-// Package table renders plain-text aligned tables for the benchmark
-// harness, mirroring the layout of the paper's Tables 1–3.
 package table
 
 import (

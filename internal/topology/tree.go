@@ -1,11 +1,3 @@
-// Package topology implements the rooted tree topologies of the LUBT
-// paper (§2–§3): node/edge identification, validation, degree-4 Steiner
-// splitting, path queries via constant-time LCA, and topology generators.
-//
-// The paper's indexing convention is used throughout: nodes are
-// s₀, s₁, …, s_n where s₀ is the root (source), s₁…s_m are sinks and
-// s_{m+1}…s_n are Steiner points. Edge e_i connects s_i to its parent, so
-// edges are identified by their child node and edge index 0 is unused.
 package topology
 
 import (

@@ -1,0 +1,13 @@
+// Package wkld provides the benchmark workloads of the paper's evaluation:
+// prim1/prim2 (Jackson-Srinivasan-Kuh, MCNC) and r1–r5 (Tsay). The
+// original sink coordinates are not distributable and are unavailable
+// offline, so — per the substitution policy in DESIGN.md — this package
+// generates deterministic synthetic stand-ins with the published sink
+// counts, uniformly placed over a square die. Every generator is seeded by
+// the benchmark name, so all tables and tests see identical instances
+// across runs and machines.
+//
+// Scaled-down variants (suffix "-s", about a quarter of the sinks) keep
+// default test and benchmark wall times small; the full-size instances are
+// selected by the harness when LUBT_FULL=1.
+package wkld

@@ -1,18 +1,3 @@
-// Package zst implements exact zero-skew clock routing under the Elmore
-// delay model in the style of Tsay's "Exact Zero Skew" (ICCAD'91) — the
-// paper's reference [4] and the source of the r1–r5 benchmarks. It is the
-// Elmore-domain sibling of the linear-delay baseline in internal/bst and
-// the natural comparison point for the §7 Elmore extension of the EBF.
-//
-// Every subtree is summarized by a merging segment (a width-zero TRR on
-// which every point yields identical Elmore delay to all sinks of the
-// subtree), the common delay value, and the subtree capacitance. Two
-// subtrees merge by placing the tapping point on the connecting wire so
-// that both sides see equal delay; when one side is too slow for any
-// split of the direct wire, the other side's wire is elongated (snaked)
-// to the exact balancing length. Tapping-point and elongation lengths
-// come from the closed-form solutions of the quadratic Elmore balance
-// equation.
 package zst
 
 import (

@@ -63,12 +63,23 @@ type SolveStats struct {
 	Resets           int
 	BasisSize        int
 	FillIn           int
-	// LogicalRows counts constraint rows as stated (an EQ row once);
-	// TableauRows counts internal ≤-form rows; RowNonzeros the stored
-	// constraint nonzeros.
-	LogicalRows int
-	TableauRows int
-	RowNonzeros int
+	// LogicalRows counts constraint rows as stated (an EQ or ranged row
+	// once); TableauRows counts engine-internal rows — the boxed revised
+	// engine stores each delay window as ONE row with a bounded slack,
+	// while the dense engines lower it to a ≤/≥ pair.
+	// LoweredTableauRows is what the two-row lowering would need, so
+	// (TableauRows, LoweredTableauRows) measures the delay-window row
+	// halving. RangedRows counts logical rows stated with a two-sided (or
+	// exact) window; RowNonzeros the stored constraint nonzeros.
+	LogicalRows        int
+	TableauRows        int
+	LoweredTableauRows int
+	RangedRows         int
+	RowNonzeros        int
+	// BoundFlips counts nonbasic bound-to-bound flips taken inside the
+	// boxed dual ratio test (cheaper than pivots: one shared FTRAN per
+	// batch).
+	BoundFlips int
 	// ViolatedByRound is the separation oracle's violated-pair count per
 	// round (0 in the last entry on convergence).
 	ViolatedByRound []int
@@ -84,10 +95,10 @@ func (s SolveStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "rounds %d  steiner-rows %d  lp-iterations %d\n",
 		s.Rounds, s.SteinerRows, s.LPIterations)
-	fmt.Fprintf(&b, "rows %d logical / %d tableau  nnz %d\n",
-		s.LogicalRows, s.TableauRows, s.RowNonzeros)
-	fmt.Fprintf(&b, "refactorizations %d  basis %d  fill-in %d  resets %d\n",
-		s.Refactorizations, s.BasisSize, s.FillIn, s.Resets)
+	fmt.Fprintf(&b, "rows %d logical / %d tableau (%d lowered, %d ranged)  nnz %d\n",
+		s.LogicalRows, s.TableauRows, s.LoweredTableauRows, s.RangedRows, s.RowNonzeros)
+	fmt.Fprintf(&b, "refactorizations %d  basis %d  fill-in %d  resets %d  bound-flips %d\n",
+		s.Refactorizations, s.BasisSize, s.FillIn, s.Resets, s.BoundFlips)
 	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
 	if len(s.ViolatedByRound) > 0 {
 		fmt.Fprintf(&b, "\nviolated/round %v", s.ViolatedByRound)
@@ -99,19 +110,22 @@ func (s SolveStats) String() string {
 func solveStatsFrom(res *core.Result) SolveStats {
 	st := res.Stats
 	return SolveStats{
-		Rounds:           res.Rounds,
-		SteinerRows:      res.RowsUsed,
-		LPIterations:     res.LPIterations,
-		Refactorizations: st.Refactorizations,
-		Resets:           st.Resets,
-		BasisSize:        st.BasisSize,
-		FillIn:           st.FillIn,
-		LogicalRows:      st.LogicalRows,
-		TableauRows:      st.TableauRows,
-		RowNonzeros:      st.RowNonzeros,
-		ViolatedByRound:  append([]int(nil), st.ViolatedByRound...),
-		SeparationTime:   st.SeparationTime,
-		SolveTime:        st.SolveTime,
+		Rounds:             res.Rounds,
+		SteinerRows:        res.RowsUsed,
+		LPIterations:       res.LPIterations,
+		Refactorizations:   st.Refactorizations,
+		Resets:             st.Resets,
+		BasisSize:          st.BasisSize,
+		FillIn:             st.FillIn,
+		LogicalRows:        st.LogicalRows,
+		TableauRows:        st.TableauRows,
+		LoweredTableauRows: st.LoweredTableauRows,
+		RangedRows:         st.RangedRows,
+		RowNonzeros:        st.RowNonzeros,
+		BoundFlips:         st.BoundFlips,
+		ViolatedByRound:    append([]int(nil), st.ViolatedByRound...),
+		SeparationTime:     st.SeparationTime,
+		SolveTime:          st.SolveTime,
 	}
 }
 
