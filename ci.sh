@@ -38,4 +38,19 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke (lubt-bench/1 JSON)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/lubtbench -json -bench prim1-s -repeats 1 -outdir "$tmp"
+bench_json="$tmp/BENCH_prim1-s.json"
+if [ ! -s "$bench_json" ]; then
+	echo "ci: lubtbench -json produced no output" >&2
+	exit 1
+fi
+if ! grep -q '"schema": "lubt-bench/1"' "$bench_json"; then
+	echo "ci: $bench_json missing lubt-bench/1 schema marker" >&2
+	exit 1
+fi
+LUBT_BENCH_JSON="$bench_json" go test -run TestBenchJSONFile ./internal/experiments
+
 echo "ci: ok"

@@ -6,7 +6,7 @@
 //
 //	lubt -in sinks.txt -lower 0.8 -upper 1.2 [-skew-topology 0.4]
 //	     [-normalized] [-use-source] [-solver simplex|ipm] [-svg out.svg]
-//	     [-stats]
+//	     [-stats] [-trace trace.json]
 //
 // The input format is the one emitted by gensinks: one "x y" pair per
 // line, optional "source x y" line, "#" comments. With -normalized,
@@ -39,13 +39,14 @@ func main() {
 		jsonPath   = flag.String("json", "", "write the routed tree as JSON to this file")
 		boundsPath = flag.String("bounds", "", "per-sink bounds file (one \"l u\" line per sink, overrides -lower/-upper)")
 		stats      = flag.Bool("stats", false, "print LP engine statistics (pivots, rounds, fill-in, timings)")
+		tracePath  = flag.String("trace", "", "write the solve span tree as JSON (schema lubt-trace/1) to this file")
 	)
 	flag.Parse()
 	cfg := runConfig{
 		inPath: *inPath, lower: *lower, upper: *upper,
 		normalized: *normalized, useSource: *useSource, skewTopo: *skewTopo,
 		solver: *solver, svgPath: *svgPath, jsonPath: *jsonPath,
-		boundsPath: *boundsPath, showStats: *stats,
+		boundsPath: *boundsPath, showStats: *stats, tracePath: *tracePath,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lubt:", err)
@@ -63,6 +64,7 @@ type runConfig struct {
 	svgPath, jsonPath     string
 	boundsPath            string
 	showStats             bool
+	tracePath             string
 }
 
 func run(cfg runConfig) error {
@@ -120,7 +122,18 @@ func run(cfg runConfig) error {
 	} else {
 		bounds = lubt.Uniform(len(sinks), l, u)
 	}
-	tree, err := inst.Solve(bounds, &lubt.Options{Solver: cfg.solver})
+	opts := &lubt.Options{Solver: cfg.solver}
+	var traceFile *os.File
+	if cfg.tracePath != "" {
+		var err error
+		traceFile, err = os.Create(cfg.tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		opts.TraceJSON = traceFile
+	}
+	tree, err := inst.Solve(bounds, opts)
 	if err != nil {
 		return err
 	}
@@ -158,6 +171,9 @@ func run(cfg runConfig) error {
 			return err
 		}
 		fmt.Printf("json       %s\n", cfg.jsonPath)
+	}
+	if cfg.tracePath != "" {
+		fmt.Printf("trace      %s\n", cfg.tracePath)
 	}
 	return nil
 }

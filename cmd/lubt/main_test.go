@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"lubt/internal/obs"
 	"lubt/internal/wkld"
 )
 
@@ -45,6 +47,35 @@ func TestRunUniformBounds(t *testing.T) {
 	svgData, _ := os.ReadFile(svg)
 	if !strings.HasPrefix(string(svgData), "<svg") {
 		t.Error("svg output malformed")
+	}
+}
+
+// TestRunTrace exercises the -trace path: the emitted file must be a
+// lubt-trace/1 document rooted at "solve".
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSinks(t, dir, 8)
+	tracePath := filepath.Join(dir, "trace.json")
+	err := run(runConfig{inPath: in, lower: 0.8, upper: 1.3, normalized: true,
+		useSource: true, skewTopo: 0.5, solver: "simplex", tracePath: tracePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Root   struct {
+			Name string `json:"name"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if doc.Schema != obs.TraceSchema || doc.Root.Name != "solve" {
+		t.Fatalf("trace document = %+v", doc)
 	}
 }
 

@@ -10,42 +10,74 @@
 //	lubtbench -figure 8    # just the Figure 8 curve
 //	lubtbench -full        # full-size instances
 //	lubtbench -stats       # LP engine statistics, revised vs dense
+//	lubtbench -json        # write BENCH_<name>.json records instead
+//	lubtbench -json -bench prim1-s -repeats 5 -outdir out/
+//
+// With -json, one machine-readable BENCH_<name>.json file (schema
+// "lubt-bench/1") is written per benchmark into -outdir (default "."),
+// carrying the full LP-engine statistics spine with median-of-repeats
+// timings; see EXPERIMENTS.md for the field reference.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"lubt/internal/experiments"
 )
 
 func main() {
 	var (
-		tableN  = flag.Int("table", 0, "run only this table (1, 2 or 3)")
-		figureN = flag.Int("figure", 0, "run only this figure (8)")
-		full    = flag.Bool("full", false, "use full-size benchmark instances")
-		stats   = flag.Bool("stats", false, "print LP engine statistics (revised vs dense) instead of the tables")
+		tableN   = flag.Int("table", 0, "run only this table (1, 2 or 3)")
+		figureN  = flag.Int("figure", 0, "run only this figure (8)")
+		full     = flag.Bool("full", false, "use full-size benchmark instances")
+		stats    = flag.Bool("stats", false, "print LP engine statistics (revised vs dense) instead of the tables")
+		jsonOut  = flag.Bool("json", false, "write per-benchmark BENCH_<name>.json records (schema lubt-bench/1) instead of the tables")
+		benchSel = flag.String("bench", "", "restrict -stats/-json to this one benchmark (e.g. prim1-s)")
+		repeats  = flag.Int("repeats", experiments.DefaultRepeats, "timing repeats per solve; medians are reported")
+		outdir   = flag.String("outdir", ".", "directory for -json output files")
 	)
 	flag.Parse()
-	if err := run(*tableN, *figureN, *full, *stats); err != nil {
+	cfg := config{
+		tableN: *tableN, figureN: *figureN, full: *full, stats: *stats,
+		json: *jsonOut, bench: *benchSel, repeats: *repeats, outdir: *outdir,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lubtbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tableN, figureN int, full, stats bool) error {
-	benches := experiments.TableBenches(full)
-	if stats {
-		t, err := experiments.EngineStats(benches)
+// config carries the parsed flags into run.
+type config struct {
+	tableN, figureN int
+	full, stats     bool
+	json            bool
+	bench           string
+	repeats         int
+	outdir          string
+}
+
+func run(cfg config) error {
+	benches := experiments.TableBenches(cfg.full)
+	if cfg.bench != "" {
+		benches = []string{cfg.bench}
+	}
+	if cfg.json {
+		return writeBenchJSON(benches, cfg.repeats, cfg.outdir)
+	}
+	if cfg.stats {
+		t, err := experiments.EngineStatsN(benches, cfg.repeats)
 		if err != nil {
 			return err
 		}
 		t.Render(os.Stdout)
 		return nil
 	}
-	all := tableN == 0 && figureN == 0
-	if tableN == 1 || all {
+	all := cfg.tableN == 0 && cfg.figureN == 0
+	if cfg.tableN == 1 || all {
 		rows, err := experiments.Table1(benches, experiments.Skews1)
 		if err != nil {
 			return err
@@ -53,15 +85,19 @@ func run(tableN, figureN int, full, stats bool) error {
 		experiments.RenderTable1(rows).Render(os.Stdout)
 		fmt.Println()
 	}
-	if tableN == 2 || all {
-		rows, err := experiments.Table2(benches[:2], experiments.Skews2) // paper: prim1, prim2
+	if cfg.tableN == 2 || all {
+		t2 := benches
+		if len(t2) > 2 {
+			t2 = t2[:2] // paper: prim1, prim2
+		}
+		rows, err := experiments.Table2(t2, experiments.Skews2)
 		if err != nil {
 			return err
 		}
 		experiments.RenderTable2(rows).Render(os.Stdout)
 		fmt.Println()
 	}
-	if tableN == 3 || all {
+	if cfg.tableN == 3 || all {
 		rows, err := experiments.Table3(benches)
 		if err != nil {
 			return err
@@ -69,8 +105,11 @@ func run(tableN, figureN int, full, stats bool) error {
 		experiments.RenderTable3(rows).Render(os.Stdout)
 		fmt.Println()
 	}
-	if figureN == 8 || all {
-		name := benches[1] // prim2 / prim2-s
+	if cfg.figureN == 8 || all {
+		name := benches[0]
+		if len(benches) > 1 {
+			name = benches[1] // prim2 / prim2-s
+		}
 		rows, err := experiments.Figure8(name)
 		if err != nil {
 			return err
@@ -78,8 +117,32 @@ func run(tableN, figureN int, full, stats bool) error {
 		experiments.RenderFigure8(rows, name).Render(os.Stdout)
 		fmt.Println()
 	}
-	if tableN != 0 && tableN > 3 || figureN != 0 && figureN != 8 {
+	if cfg.tableN != 0 && cfg.tableN > 3 || cfg.figureN != 0 && cfg.figureN != 8 {
 		return fmt.Errorf("unknown table/figure: the paper has Tables 1-3 and Figure 8")
+	}
+	return nil
+}
+
+// writeBenchJSON emits one BENCH_<name>.json per benchmark into outdir.
+func writeBenchJSON(benches []string, repeats int, outdir string) error {
+	recs, err := experiments.BenchRecords(benches, repeats)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		path := filepath.Join(outdir, "BENCH_"+rec.Bench+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteBenchJSON(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d engines, %d repeats)\n", path, len(rec.Engines), rec.Repeats)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lubt/internal/lp"
+	"lubt/internal/obs"
 )
 
 // Options tune the EBF solve.
@@ -39,6 +40,18 @@ type Options struct {
 	// Tol is the Steiner-violation tolerance, scaled by the instance
 	// radius; 0 means 1e-7.
 	Tol float64
+	// Tracer records solve spans (rounds, LP solves, separation scans,
+	// engine refactorizations) when non-nil. Nil disables tracing at zero
+	// cost — every obs call is a nil-receiver no-op.
+	Tracer *obs.Tracer
+}
+
+// tracer returns the configured tracer, nil (disabled) when opt is nil.
+func (o *Options) tracer() *obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
 }
 
 // engine builds the RowEngine the row-generation loop runs on: a warm
@@ -142,9 +155,18 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 	}
 	w := opt.weights(n)
 
+	tr := opt.tracer()
+	ebfSpan := tr.Start("ebf")
+	defer ebfSpan.End()
+
 	eng, err := opt.engine(n, w)
 	if err != nil {
 		return nil, err
+	}
+	// Engines with internal phases (the revised engine's refactorizations
+	// and resets) record them as spans under the current round.
+	if tc, ok := eng.(lp.Traceable); ok {
+		tc.SetTracer(tr)
 	}
 	// Forced-zero edges from degree splitting: engines with native
 	// variable boxes (the boxed revised dual simplex) fix the variable —
@@ -219,12 +241,20 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 		if round >= maxRounds {
 			return nil, fmt.Errorf("core: row generation did not converge in %d rounds", maxRounds)
 		}
+		rsp := tr.Start("round")
+		rsp.SetInt("round", round)
+		rsp.SetInt("rows", eng.NumRows())
+
+		lsp := tr.Start("lp-solve")
 		t0 := time.Now()
 		sol, err := eng.Solve()
 		solveTime += time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("core: LP solve failed: %w", err)
 		}
+		lsp.SetInt("pivots", eng.Iterations())
+		lsp.SetString("status", sol.Status.String())
+		lsp.End()
 		switch sol.Status {
 		case lp.Optimal:
 		case lp.Infeasible:
@@ -239,10 +269,14 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 
 		e := make([]float64, n)
 		copy(e[1:], sol.X[1:n])
+		ssp := tr.Start("separation")
 		t1 := time.Now()
 		viol := violatedPairsN(in, e, tol, batch, workers)
 		sepTime += time.Since(t1)
+		ssp.SetInt("violated", len(viol))
+		ssp.End()
 		violByRound = append(violByRound, len(viol))
+		rsp.End()
 		if len(viol) == 0 || full {
 			res.E = e
 			res.Delays = t.Delays(e)
@@ -273,6 +307,9 @@ type coldEngine struct {
 	logicalRows int
 	tableauRows int
 	rangedRows  int
+	// residual is the worst Solution.NumericalResidual any solve reported
+	// (the cold solvers' terminal numerical-health gauge).
+	residual float64
 }
 
 func newColdEngine(n int, w []float64, solver lp.Solver) *coldEngine {
@@ -326,6 +363,9 @@ func (ce *coldEngine) Solve() (*lp.Solution, error) {
 	sol, err := ce.solver.Solve(ce.p)
 	if sol != nil {
 		ce.iterations += sol.Iterations
+		if sol.NumericalResidual > ce.residual {
+			ce.residual = sol.NumericalResidual
+		}
 	}
 	return sol, err
 }
@@ -341,6 +381,10 @@ func (ce *coldEngine) Stats() lp.Stats {
 		TableauRows:        ce.tableauRows,
 		LoweredTableauRows: ce.tableauRows, // cold problems are already lowered
 		RangedRows:         ce.rangedRows,
+		NumericalResidual:  ce.residual,
+		// Cold solvers sample their gauges too (factorization gauges are
+		// legitimately zero; the residual is the terminal solver gauge).
+		GaugesValid: true,
 	}
 	for _, c := range ce.p.Cons {
 		st.RowNonzeros += len(c.Terms)

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"lubt/internal/delay"
 	"lubt/internal/lp"
+	"lubt/internal/obs"
 )
 
 // ElmoreOptions tune SolveElmore.
@@ -21,6 +23,10 @@ type ElmoreOptions struct {
 	Tol float64
 	// Weights as in Options.
 	Weights []float64
+	// Tracer records the SLP solve as spans (one "slp-iter" per
+	// linearization, plus the warm start's "ebf" sub-tree). Nil disables
+	// tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // ElmoreResult is the outcome of the sequential-LP heuristic.
@@ -32,6 +38,12 @@ type ElmoreResult struct {
 	// MaxViolation is the residual Elmore delay-window violation in time
 	// units (≤ the solver tolerance × bound scale on success).
 	MaxViolation float64
+	// IterStats holds one lp.Stats record per SLP iteration (pivot count,
+	// subproblem row/nonzero size, solve wall time, terminal residual of
+	// the linearized LP), in iteration order. Stats is their fold (plus
+	// the warm start's record) via lp.Stats.Merge.
+	IterStats []lp.Stats
+	Stats     lp.Stats
 }
 
 // SolveElmore solves the EBF under the Elmore delay model (§7). The
@@ -68,15 +80,22 @@ func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, err
 	n := t.N()
 	w := (&Options{Weights: opt.Weights}).weights(n)
 	mdl := opt.Model
+	tr := opt.Tracer
+	slpSpan := tr.Start("slp")
+	defer slpSpan.End()
 
 	// Starting point: the minimum-wirelength tree (Steiner constraints
 	// only), which satisfies the geometric constraints exactly. A nil
 	// opt.Solver selects the fast incremental engine.
-	start, err := Solve(in, UniformBounds(m, 0, math.Inf(1)), &Options{Solver: opt.Solver, Weights: opt.Weights})
+	start, err := Solve(in, UniformBounds(m, 0, math.Inf(1)), &Options{Solver: opt.Solver, Weights: opt.Weights, Tracer: tr})
 	if err != nil {
 		return nil, fmt.Errorf("core: Elmore warm start failed: %w", err)
 	}
 	e := start.E
+	// The merged record starts from the warm start's engine counters; each
+	// SLP iteration folds its own per-subproblem record in below.
+	mergedStats := start.Stats
+	var iterStats []lp.Stats
 
 	// Delay padding: sinks below their lower bound get their leaf edge
 	// elongated by the positive root of the quadratic delay increment
@@ -253,10 +272,36 @@ func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, err
 				slack++
 			}
 		}
+		isp := tr.Start("slp-iter")
+		isp.SetInt("iter", iters)
+		isp.SetInt("rows", len(p.Cons))
+		t0 := time.Now()
 		sol, err := solver.Solve(p)
+		dt := time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("core: SLP subproblem failed: %w", err)
 		}
+		// One lp.Stats record per SLP iteration: the subproblem is cold, so
+		// pivots, size and terminal residual fully describe it.
+		ist := lp.Stats{
+			Pivots:             sol.Iterations,
+			LogicalRows:        len(p.Cons),
+			TableauRows:        len(p.Cons),
+			LoweredTableauRows: len(p.Cons), // Problem rows are already lowered
+			NumericalResidual:  sol.NumericalResidual,
+			SolveTime:          dt,
+			Rounds:             1,
+			GaugesValid:        true,
+		}
+		for _, c := range p.Cons {
+			ist.RowNonzeros += len(c.Terms)
+		}
+		iterStats = append(iterStats, ist)
+		mergedStats.Merge(ist)
+		isp.SetInt("pivots", sol.Iterations)
+		isp.SetString("status", sol.Status.String())
+		isp.SetFloat("tau", tau)
+		isp.End()
 		if sol.Status != lp.Optimal {
 			// Elastic rows make genuine infeasibility impossible; treat
 			// solver trouble as a failed step.
@@ -306,5 +351,7 @@ func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, err
 		Delays:       mdl.Delays(t, e),
 		Iterations:   iters,
 		MaxViolation: boundViol(e),
+		IterStats:    iterStats,
+		Stats:        mergedStats,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"lubt/internal/geom"
+	"lubt/internal/obs"
 	"lubt/internal/topology"
 )
 
@@ -27,6 +28,10 @@ type Options struct {
 	// Tol absorbs LP rounding: every region is inflated by Tol before
 	// intersection tests. 0 means 1e-6·(1+scale of the instance).
 	Tol float64
+	// Tracer records the embedding as an "embed" span with "bottom-up"
+	// (feasible-region merge) and "top-down" (placement) children. Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Placement is an embedded tree.
@@ -74,13 +79,18 @@ func Place(t *topology.Tree, sinkLoc []geom.Point, source *geom.Point, e []float
 		tol = opt.Tol
 	}
 	policy := Nearest
+	var tr *obs.Tracer
 	if opt != nil {
 		policy = opt.Policy
+		tr = opt.Tracer
 	}
+	esp := tr.Start("embed")
+	defer esp.End()
 
 	n := t.N()
 	fr := make([]geom.TRR, n)
 	trr := make([]geom.TRR, n) // TRR_k = Expand(FR_k, e_k)
+	bu := tr.Start("bottom-up")
 	for _, k := range t.Postorder() {
 		if t.IsSink(k) {
 			fr[k] = geom.PointTRR(sinkLoc[k])
@@ -108,7 +118,10 @@ func Place(t *topology.Tree, sinkLoc []geom.Point, source *geom.Point, e []float
 			trr[k] = fr[k].Expand(e[k])
 		}
 	}
+	bu.SetInt("nodes", n)
+	bu.End()
 
+	td := tr.Start("top-down")
 	loc := make([]geom.Point, n)
 	if source != nil {
 		if fr[0].DistPoint(*source) > tol {
@@ -140,6 +153,7 @@ func Place(t *topology.Tree, sinkLoc []geom.Point, source *geom.Point, e []float
 			loc[k] = region.ClosestPointTo(p)
 		}
 	}
+	td.End()
 
 	elong := make([]float64, n)
 	for k := 1; k < n; k++ {

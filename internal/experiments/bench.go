@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchSchema identifies the machine-readable per-benchmark record
+// emitted by `lubtbench -json`. Bump the suffix on any breaking change
+// to the BenchRecord shape; TestBenchJSONSchema pins the current one.
+const BenchSchema = "lubt-bench/1"
+
+// BenchRecord is one BENCH_<name>.json document: the instance identity
+// plus one EngineRecord per LP engine, each carrying the full lp.Stats
+// spine and median-of-repeats timings. The schema is append-only within
+// a major version: consumers must ignore unknown keys, producers must
+// not remove or retype the ones below.
+type BenchRecord struct {
+	Schema  string         `json:"schema"`
+	Bench   string         `json:"bench"`
+	Sinks   int            `json:"sinks"`
+	Repeats int            `json:"repeats"`
+	Engines []EngineRecord `json:"engines"`
+}
+
+// EngineRecord is one engine's outcome on one benchmark. Counters are
+// from the first (deterministic) run; the *_ns timings are medians over
+// the record's Repeats runs.
+type EngineRecord struct {
+	Engine             string  `json:"engine"`
+	Cost               float64 `json:"cost"`
+	Rounds             int     `json:"rounds"`
+	SteinerRows        int     `json:"steiner_rows"`
+	Pivots             int     `json:"pivots"`
+	BoundFlips         int     `json:"bound_flips"`
+	Refactorizations   int     `json:"refactorizations"`
+	Resets             int     `json:"resets"`
+	BasisSize          int     `json:"basis_size"`
+	FillIn             int     `json:"fill_in"`
+	EtaLen             int     `json:"eta_len"`
+	TableauRows        int     `json:"tableau_rows"`
+	LoweredTableauRows int     `json:"lowered_tableau_rows"`
+	RangedRows         int     `json:"ranged_rows"`
+	RowNonzeros        int     `json:"row_nonzeros"`
+	NumericalResidual  float64 `json:"numerical_residual"`
+	PivotMin           float64 `json:"pivot_min"`
+	PivotMax           float64 `json:"pivot_max"`
+	SepScanNS          int64   `json:"sep_scan_ns"`
+	LPSolveNS          int64   `json:"lp_solve_ns"`
+	WallNS             int64   `json:"wall_ns"`
+}
+
+// BenchRecords runs the EngineStats workload (0.1·radius skew window,
+// both warm engines) on every named benchmark and returns one BenchRecord
+// per name, timings taken as the median of `repeats` runs (< 1 means 1).
+func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var out []BenchRecord
+	for _, name := range names {
+		in, err := load(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := in.runBaseline(0.1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		l, u := windowFor(base, in.radius, 0.1)
+		rec := BenchRecord{
+			Schema:  BenchSchema,
+			Bench:   name,
+			Sinks:   len(in.bench.Sinks),
+			Repeats: repeats,
+		}
+		for _, eng := range []string{"revised", "dense"} {
+			run, err := in.runRepeated(base, l, u, eng, repeats)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, eng, err)
+			}
+			res, st := run.res, run.res.Stats
+			rec.Engines = append(rec.Engines, EngineRecord{
+				Engine:             eng,
+				Cost:               res.Cost,
+				Rounds:             res.Rounds,
+				SteinerRows:        res.RowsUsed,
+				Pivots:             st.Pivots,
+				BoundFlips:         st.BoundFlips,
+				Refactorizations:   st.Refactorizations,
+				Resets:             st.Resets,
+				BasisSize:          st.BasisSize,
+				FillIn:             st.FillIn,
+				EtaLen:             st.EtaLen,
+				TableauRows:        st.TableauRows,
+				LoweredTableauRows: st.LoweredTableauRows,
+				RangedRows:         st.RangedRows,
+				RowNonzeros:        st.RowNonzeros,
+				NumericalResidual:  st.NumericalResidual,
+				PivotMin:           st.PivotMin,
+				PivotMax:           st.PivotMax,
+				SepScanNS:          medianDuration(run.sep).Nanoseconds(),
+				LPSolveNS:          medianDuration(run.lp).Nanoseconds(),
+				WallNS:             medianDuration(run.wall).Nanoseconds(),
+			})
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteBenchJSON marshals one record as indented JSON (the BENCH_*.json
+// file format).
+func WriteBenchJSON(w io.Writer, rec BenchRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// ValidateBenchJSON checks that data is a well-formed lubt-bench/1
+// document: strict field set (unknown keys reject — catching producer
+// drift), correct schema string, and the structural invariants a consumer
+// relies on. It backs the ci.sh bench-smoke gate.
+func ValidateBenchJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rec BenchRecord
+	if err := dec.Decode(&rec); err != nil {
+		return fmt.Errorf("bench json: %w", err)
+	}
+	if rec.Schema != BenchSchema {
+		return fmt.Errorf("bench json: schema %q, want %q", rec.Schema, BenchSchema)
+	}
+	if rec.Bench == "" {
+		return fmt.Errorf("bench json: empty bench name")
+	}
+	if rec.Sinks <= 0 {
+		return fmt.Errorf("bench json: sinks = %d", rec.Sinks)
+	}
+	if rec.Repeats < 1 {
+		return fmt.Errorf("bench json: repeats = %d", rec.Repeats)
+	}
+	if len(rec.Engines) == 0 {
+		return fmt.Errorf("bench json: no engine records")
+	}
+	for i, e := range rec.Engines {
+		if e.Engine == "" {
+			return fmt.Errorf("bench json: engines[%d]: empty engine name", i)
+		}
+		if e.Rounds < 1 {
+			return fmt.Errorf("bench json: engines[%d]: rounds = %d", i, e.Rounds)
+		}
+		if e.WallNS <= 0 {
+			return fmt.Errorf("bench json: engines[%d]: wall_ns = %d", i, e.WallNS)
+		}
+		if e.Cost <= 0 {
+			return fmt.Errorf("bench json: engines[%d]: cost = %g", i, e.Cost)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchRecordsRoundTrip runs the smallest benchmark once and checks
+// the record validates and carries sane engine data.
+func TestBenchRecordsRoundTrip(t *testing.T) {
+	recs, err := BenchRecords([]string{"prim1-s"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records for one benchmark", len(recs))
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchJSON(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rec := recs[0]
+	if len(rec.Engines) != 2 {
+		t.Fatalf("engines: %d, want revised+dense", len(rec.Engines))
+	}
+	// Both engines must agree on the optimum.
+	if a, b := rec.Engines[0].Cost, rec.Engines[1].Cost; a <= 0 || b <= 0 ||
+		a/b > 1.001 || b/a > 1.001 {
+		t.Errorf("engine costs disagree: %g vs %g", a, b)
+	}
+	for _, e := range rec.Engines {
+		if e.Pivots <= 0 || e.Rounds <= 0 || e.SteinerRows <= 0 {
+			t.Errorf("%s: empty counters: %+v", e.Engine, e)
+		}
+	}
+}
+
+// TestBenchJSONSchema locks the lubt-bench/1 key set: any new, removed or
+// renamed field must bump the schema version.
+func TestBenchJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteBenchJSON(&buf, BenchRecord{
+		Schema: BenchSchema, Bench: "x", Sinks: 1, Repeats: 1,
+		Engines: []EngineRecord{{Engine: "revised"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	wantTop := []string{"schema", "bench", "sinks", "repeats", "engines"}
+	if len(top) != len(wantTop) {
+		t.Errorf("top-level has %d keys, want %d", len(top), len(wantTop))
+	}
+	for _, k := range wantTop {
+		if _, ok := top[k]; !ok {
+			t.Errorf("missing top-level key %q", k)
+		}
+	}
+	var engines []map[string]json.RawMessage
+	if err := json.Unmarshal(top["engines"], &engines); err != nil {
+		t.Fatal(err)
+	}
+	wantEng := []string{
+		"engine", "cost", "rounds", "steiner_rows", "pivots", "bound_flips",
+		"refactorizations", "resets", "basis_size", "fill_in", "eta_len",
+		"tableau_rows", "lowered_tableau_rows", "ranged_rows", "row_nonzeros",
+		"numerical_residual", "pivot_min", "pivot_max",
+		"sep_scan_ns", "lp_solve_ns", "wall_ns",
+	}
+	if len(engines[0]) != len(wantEng) {
+		t.Errorf("engine record has %d keys, want %d (schema drift — bump lubt-bench version)",
+			len(engines[0]), len(wantEng))
+	}
+	for _, k := range wantEng {
+		if _, ok := engines[0][k]; !ok {
+			t.Errorf("missing engine key %q", k)
+		}
+	}
+}
+
+// TestValidateBenchJSONRejects exercises the validator's failure modes.
+func TestValidateBenchJSONRejects(t *testing.T) {
+	good := BenchRecord{
+		Schema: BenchSchema, Bench: "x", Sinks: 4, Repeats: 1,
+		Engines: []EngineRecord{{Engine: "revised", Rounds: 1, WallNS: 5, Cost: 1}},
+	}
+	encode := func(r BenchRecord) []byte {
+		b, _ := json.Marshal(r)
+		return b
+	}
+	if err := ValidateBenchJSON(encode(good)); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	cases := map[string]BenchRecord{}
+	r := good
+	r.Schema = "lubt-bench/0"
+	cases["wrong schema"] = r
+	r = good
+	r.Bench = ""
+	cases["empty bench"] = r
+	r = good
+	r.Engines = nil
+	cases["no engines"] = r
+	r = good
+	r.Engines = []EngineRecord{{Engine: "revised", Rounds: 0, WallNS: 5, Cost: 1}}
+	cases["zero rounds"] = r
+	for name, rec := range cases {
+		if err := ValidateBenchJSON(encode(rec)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := ValidateBenchJSON([]byte(`{"schema":"lubt-bench/1","surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestBenchJSONFile validates an externally produced BENCH_*.json file
+// named by LUBT_BENCH_JSON (skipped when unset). ci.sh uses this as the
+// bench-smoke gate: it runs `lubtbench -json` and points this test at
+// the output, so the CLI and the schema cannot drift apart.
+func TestBenchJSONFile(t *testing.T) {
+	path := os.Getenv("LUBT_BENCH_JSON")
+	if path == "" {
+		t.Skip("LUBT_BENCH_JSON not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchJSON(data); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -85,11 +85,21 @@ func (in *instance) runLUBTOpts(base *bst.Result, l, u float64, opt *core.Option
 // EngineStats solves every benchmark with both warm LP engines — the
 // sparse revised dual simplex (the default) and the dense-tableau
 // ablation engine — at a representative 0.1·radius skew window, and
-// tabulates the lp.Stats spine side by side. It backs `lubtbench -stats`.
+// tabulates the lp.Stats spine side by side. It backs `lubtbench -stats`
+// and runs each solve DefaultRepeats times, reporting median timings.
 func EngineStats(names []string) (*table.Table, error) {
-	t := table.New("LP engine statistics (skew window 0.1·radius)",
+	return EngineStatsN(names, DefaultRepeats)
+}
+
+// EngineStatsN is EngineStats with an explicit repeat count: each
+// (bench, engine) solve runs `repeats` times and the reported sep-scan,
+// lp-solve and wall timings are the medians across runs. The counters
+// (pivots, rounds, rows, …) are deterministic and come from the first
+// run. repeats < 1 means 1.
+func EngineStatsN(names []string, repeats int) (*table.Table, error) {
+	t := table.New("LP engine statistics (skew window 0.1·radius, median timings)",
 		"bench", "engine", "rounds", "steiner", "pivots", "flips", "refactor",
-		"basis", "fill-in", "rows", "lowered", "nnz", "sep-scan", "lp-solve")
+		"basis", "fill-in", "rows", "lowered", "nnz", "sep-scan", "lp-solve", "wall")
 	for _, name := range names {
 		in, err := load(name)
 		if err != nil {
@@ -101,19 +111,66 @@ func EngineStats(names []string) (*table.Table, error) {
 		}
 		l, u := windowFor(base, in.radius, 0.1)
 		for _, eng := range []string{"revised", "dense"} {
-			res, err := in.runLUBTOpts(base, l, u, &core.Options{Engine: eng})
+			run, err := in.runRepeated(base, l, u, eng, repeats)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, eng, err)
 			}
-			st := res.Stats
+			res, st := run.res, run.res.Stats
 			t.Addf(name, eng, res.Rounds, res.RowsUsed, st.Pivots,
 				st.BoundFlips, st.Refactorizations, st.BasisSize, st.FillIn,
 				st.TableauRows, st.LoweredTableauRows, st.RowNonzeros,
-				st.SeparationTime.Round(time.Microsecond).String(),
-				st.SolveTime.Round(time.Microsecond).String())
+				medianDuration(run.sep).Round(time.Microsecond).String(),
+				medianDuration(run.lp).Round(time.Microsecond).String(),
+				medianDuration(run.wall).Round(time.Microsecond).String())
 		}
 	}
 	return t, nil
+}
+
+// DefaultRepeats is how many times EngineStats and BenchRecords repeat
+// each solve before taking median timings.
+const DefaultRepeats = 3
+
+// repeatedRun is the outcome of solving one (bench, engine) pair several
+// times: the (deterministic) first result plus per-run timing samples.
+type repeatedRun struct {
+	res           *core.Result
+	wall, sep, lp []time.Duration
+}
+
+// runRepeated solves the instance `repeats` times with the given warm
+// engine and collects wall/separation/solve timings per run.
+func (in *instance) runRepeated(base *bst.Result, l, u float64, engine string, repeats int) (*repeatedRun, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	run := &repeatedRun{}
+	for r := 0; r < repeats; r++ {
+		t0 := time.Now()
+		res, err := in.runLUBTOpts(base, l, u, &core.Options{Engine: engine})
+		wall := time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		if run.res == nil {
+			run.res = res
+		}
+		run.wall = append(run.wall, wall)
+		run.sep = append(run.sep, res.Stats.SeparationTime)
+		run.lp = append(run.lp, res.Stats.SolveTime)
+	}
+	return run, nil
+}
+
+// medianDuration returns the middle sample (lower middle for even
+// counts); 0 for an empty slice.
+func medianDuration(d []time.Duration) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[(len(s)-1)/2]
 }
 
 // Row1 is one line of Table 1.

@@ -86,4 +86,25 @@
 // numerical drift with an escalation ladder — refactorize the basis,
 // then reset to the all-slack basis, then report Numerical — counted in
 // Stats().Refactorizations and Stats().Resets.
+//
+// # Observability: numerical-health gauges and tracing
+//
+// Stats carries two kinds of fields. Counters (Pivots, BoundFlips,
+// Refactorizations, …) accumulate across Solve calls and Merge by
+// addition. Gauges are point-in-time samples of the engine's numerical
+// health — EtaLen, FillIn, BasisSize, NumericalResidual, PivotMin/Max —
+// refreshed at each refactorization (Revised), at termination (IPM's
+// scaled KKT residual, Simplex's max constraint violation), or per
+// cutting-plane round. Stats.GaugesValid marks a gauge set as sampled;
+// Merge then takes the newer sample wholesale, so a legitimate zero
+// (e.g. FillIn 0 after a clean refactorization) replaces a stale value
+// instead of being skipped. ResetReasons records why each escalation
+// fired ("basis-mismatch", "lu-singular", "dual-drift",
+// "pivot-disagreement").
+//
+// Engines that implement Traceable (only Revised) accept an
+// *obs.Tracer and emit spans for refactorizations and basis resets with
+// the gauge values as attributes; a nil tracer is free. The
+// row-generation loop in internal/core threads its tracer through this
+// interface so LP-internal events nest under the per-round spans.
 package lp

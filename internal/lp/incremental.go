@@ -80,6 +80,10 @@ func (inc *Incremental) Stats() Stats {
 		// already split, so the two counts coincide.
 		LoweredTableauRows: len(inc.rows),
 		RangedRows:         inc.rangedRows,
+		// The factorization gauges are legitimately zero for the dense
+		// tableau; GaugesValid says so explicitly (Merge must not keep
+		// stale values from another engine).
+		GaugesValid: true,
 	}
 	for _, row := range inc.rows {
 		n := len(row)

@@ -139,6 +139,10 @@ func (ip *IPM) Solve(p *Problem) (*Solution, error) {
 	ds := make([]float64, n)
 	dy := make([]float64, m)
 	iters := 0
+	// residual is the scaled KKT residual of the current iterate — the
+	// convergence gauge, reported as Solution.NumericalResidual on every
+	// return path so callers can tell a clean solve from a marginal one.
+	residual := math.Inf(1)
 
 	for ; iters < maxIter; iters++ {
 		// Residuals.
@@ -157,8 +161,9 @@ func (ip *IPM) Solve(p *Problem) (*Solution, error) {
 			mu += x[j] * sv[j]
 		}
 		mu /= float64(n)
-		if linalg.NormInf(rp)/bNorm < tol && linalg.NormInf(rd)/cNorm < tol &&
-			mu/(1+math.Abs(linalg.Dot(c, x))) < tol {
+		residual = math.Max(linalg.NormInf(rp)/bNorm,
+			math.Max(linalg.NormInf(rd)/cNorm, mu/(1+math.Abs(linalg.Dot(c, x)))))
+		if residual < tol {
 			break
 		}
 
@@ -168,7 +173,7 @@ func (ip *IPM) Solve(p *Problem) (*Solution, error) {
 		}
 		chol, err := factorLadder(normalEq(d), 1e-10*(1+mu))
 		if err != nil {
-			return &Solution{Status: Numerical, Iterations: iters}, nil
+			return &Solution{Status: Numerical, Iterations: iters, NumericalResidual: residual}, nil
 		}
 
 		// solveKKT computes (dx, dy, ds) for complementarity target v:
@@ -231,7 +236,7 @@ func (ip *IPM) Solve(p *Problem) (*Solution, error) {
 		}
 	}
 	if iters >= maxIter {
-		return &Solution{Status: IterLimit, Iterations: iters}, nil
+		return &Solution{Status: IterLimit, Iterations: iters, NumericalResidual: residual}, nil
 	}
 	out := make([]float64, p.NumVars)
 	for j := range out {
@@ -242,10 +247,11 @@ func (ip *IPM) Solve(p *Problem) (*Solution, error) {
 		out[j] = v
 	}
 	return &Solution{
-		Status:     Optimal,
-		X:          out,
-		Objective:  p.Eval(out),
-		Iterations: iters,
+		Status:            Optimal,
+		X:                 out,
+		Objective:         p.Eval(out),
+		Iterations:        iters,
+		NumericalResidual: residual,
 	}, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"lubt/internal/obs"
 )
 
 // Op is a row comparison operator.
@@ -183,6 +185,11 @@ type Solution struct {
 	X          []float64 // primal values, len NumVars
 	Objective  float64
 	Iterations int
+	// NumericalResidual is the solver's terminal numerical-health gauge:
+	// the final scaled KKT residual for the IPM, the worst constraint
+	// violation of the returned vertex for the cold simplex (0 when not
+	// sampled). It flows into Stats.NumericalResidual for cold engines.
+	NumericalResidual float64
 }
 
 // Solver is implemented by both the simplex and interior-point methods.
@@ -220,6 +227,15 @@ type RowEngine interface {
 	Iterations() int
 	// Stats returns a snapshot of the engine's observability counters.
 	Stats() Stats
+}
+
+// Traceable is the optional extension for engines that can record
+// internal spans (refactorizations, resets) on an obs.Tracer. The
+// row-generation loop type-asserts and attaches its tracer; engines
+// without internal phases simply don't implement it. A nil tracer must
+// be accepted and disables recording.
+type Traceable interface {
+	SetTracer(tr *obs.Tracer)
 }
 
 // VarBounder is the optional RowEngine extension for engines that support

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"lubt/internal/linalg"
+	"lubt/internal/obs"
 )
 
 // Revised is a sparse revised dual-simplex engine for cutting planes: the
@@ -80,8 +81,11 @@ type Revised struct {
 	posBuf  []float64   // btran intermediate, by position
 	coreRhs []float64   // core-solve right-hand side, len ≥ t
 	coreSol []float64   // core-solve result, len ≥ t
+	xbPrev  []float64   // eta-replayed xB snapshot for the residual gauge
 	cands   []ratioCand // two-sided ratio-test candidates
 	refEach int         // pivots between refactorizations
+
+	tr *obs.Tracer // span tracer; nil (the default) records nothing
 
 	dirty          bool // rows/bounds changed since the last factorization
 	justRefactored bool
@@ -186,7 +190,9 @@ func (rv *Revised) TableauRows() int { return rv.rows.numRows() }
 // are not pivots and are counted separately in Stats).
 func (rv *Revised) Iterations() int { return rv.iterations }
 
-// Stats returns a snapshot of the engine's observability counters.
+// Stats returns a snapshot of the engine's observability counters. The
+// gauges are marked sampled (GaugesValid), so merging a snapshot into an
+// accumulated record replaces stale gauge values even with 0.
 func (rv *Revised) Stats() Stats {
 	s := rv.stats
 	s.Pivots = rv.iterations
@@ -196,8 +202,16 @@ func (rv *Revised) Stats() Stats {
 	s.RangedRows = rv.rangedRows
 	s.BoundFlips = rv.boundFlips
 	s.RowNonzeros = rv.rows.nnz()
+	s.ResetReasons = append([]string(nil), rv.stats.ResetReasons...)
+	s.GaugesValid = true
 	return s
 }
+
+// SetTracer attaches a span tracer: each refactorization then records a
+// "refactorize" span carrying the numerical-health gauges (basis size,
+// fill-in, eta-file length, replay residual, reset reason). A nil tracer
+// (the default) records nothing at zero cost.
+func (rv *Revised) SetTracer(tr *obs.Tracer) { rv.tr = tr }
 
 // AddRow introduces the constraint Σ terms {op} rhs. A GE row is negated
 // into ≤ form; an EQ row becomes ONE row whose slack is fixed at zero (no
@@ -354,8 +368,9 @@ func (rv *Revised) effRHS(out []float64) {
 
 // reset returns to the all-slack basis with every structural variable at
 // its lower bound (always dual-feasible for c ≥ 0): the numerical-trouble
-// escape hatch, equivalent to a cold dual start.
-func (rv *Revised) reset() {
+// escape hatch, equivalent to a cold dual start. reason is the trigger
+// code recorded in Stats.ResetReasons (see the field doc for the codes).
+func (rv *Revised) reset(reason string) {
 	m := rv.rows.numRows()
 	for j := range rv.posOfStruct {
 		rv.posOfStruct[j] = -1
@@ -380,15 +395,35 @@ func (rv *Revised) reset() {
 	rv.dirty = false
 	rv.justRefactored = true
 	rv.stats.Resets++
+	rv.stats.ResetReasons = append(rv.stats.ResetReasons, reason)
 	rv.stats.BasisSize = 0
+	rv.stats.EtaLen = 0
+	sp := rv.tr.Start("reset")
+	sp.SetString("reason", reason)
+	sp.End()
 }
 
 // refactorize rebuilds the LU factorization of the basis's structural
 // core, drops the eta file, and recomputes xB, y and the reduced costs
 // from scratch. Returns false (after resetting) when the basis has gone
-// numerically bad.
+// numerically bad. Each call samples the numerical-health gauges — basis
+// size, fill-in, eta-file length, eta-replay residual — into Stats and
+// (when a tracer is attached) a "refactorize" span.
 func (rv *Revised) refactorize() bool {
+	sp := rv.tr.Start("refactorize")
+	defer sp.End()
 	m := rv.rows.numRows()
+	// Gauge inputs: how many product-form updates this factorization
+	// replaces, and whether the incremental xB is comparable to the fresh
+	// one (it is unless rows were added since the last factorization).
+	etaLen := len(rv.etas)
+	measure := !rv.dirty && etaLen > 0
+	if measure {
+		if cap(rv.xbPrev) < m {
+			rv.xbPrev = make([]float64, m)
+		}
+		copy(rv.xbPrev[:m], rv.xB[:m])
+	}
 	rv.baseVar = append(rv.baseVar[:0], rv.basisVar...)
 	rv.coreCols = rv.coreCols[:0]
 	rv.coreRows = rv.coreRows[:0]
@@ -407,7 +442,7 @@ func (rv *Revised) refactorize() bool {
 	t := len(rv.coreCols)
 	if t != len(rv.coreRows) {
 		// Cannot happen for a consistent basis; recover anyway.
-		rv.reset()
+		rv.reset("basis-mismatch")
 		return false
 	}
 	if cap(rv.coreRhs) < t {
@@ -419,6 +454,7 @@ func (rv *Revised) refactorize() bool {
 	rv.justRefactored = true
 	rv.stats.Refactorizations++
 	rv.stats.BasisSize = t
+	rv.stats.EtaLen = etaLen
 	if t > 0 {
 		if rv.coreMat == nil {
 			rv.coreMat = linalg.NewMatrix(t, t)
@@ -438,7 +474,7 @@ func (rv *Revised) refactorize() bool {
 		}
 		lu, err := linalg.FactorLUInto(rv.coreMat, rv.lu)
 		if err != nil {
-			rv.reset()
+			rv.reset("lu-singular")
 			return false
 		}
 		rv.lu = lu
@@ -454,6 +490,21 @@ func (rv *Revised) refactorize() bool {
 	// Recompute the primal basic values xB = B⁻¹ (b − N x_N).
 	rv.effRHS(rv.colBuf)
 	rv.ftran0(rv.colBuf, rv.xB)
+	if measure {
+		// Residual gauge: how far the eta-file replay had drifted from the
+		// freshly factored basic values.
+		worst := 0.0
+		for p := 0; p < m; p++ {
+			if d := math.Abs(rv.xbPrev[p] - rv.xB[p]); d > worst {
+				worst = d
+			}
+		}
+		rv.stats.NumericalResidual = worst
+		sp.SetFloat("residual", worst)
+	}
+	sp.SetInt("basis", t)
+	sp.SetInt("fill_in", rv.stats.FillIn)
+	sp.SetInt("eta_len", etaLen)
 	// Recompute duals y = B⁻ᵀ cB and reduced costs d = c − Aᵀy, clamped to
 	// the dual-feasible side of each nonbasic variable's status: ≥ 0 at a
 	// lower bound, ≤ 0 at an upper bound, unrestricted for fixed variables.
@@ -520,7 +571,7 @@ func (rv *Revised) refactorize() bool {
 	}
 	if !ok {
 		// The basis drifted dual-infeasible: restart from all slacks.
-		rv.reset()
+		rv.reset("dual-drift")
 		return false
 	}
 	return true
@@ -876,11 +927,20 @@ func (rv *Revised) Solve() (*Solution, error) {
 				continue
 			}
 			if resets == 0 {
-				rv.reset()
+				rv.reset("pivot-disagreement")
 				resets++
 				continue
 			}
 			return &Solution{Status: Numerical, Iterations: rv.iterations}, nil
+		}
+		// Pivot-element magnitude extremes: the accepted pivot's |w[r]|.
+		if aw := math.Abs(w[r]); aw > 0 {
+			if aw > rv.stats.PivotMax {
+				rv.stats.PivotMax = aw
+			}
+			if rv.stats.PivotMin == 0 || aw < rv.stats.PivotMin {
+				rv.stats.PivotMin = aw
+			}
 		}
 		var dEnter float64
 		if enter < rv.nVars {

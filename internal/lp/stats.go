@@ -19,7 +19,14 @@ type Stats struct {
 	// dual-simplex engine (the dense tableau never refactors).
 	Refactorizations int
 	// Resets counts full basis resets taken after numerical trouble.
-	Resets int
+	// ResetReasons holds one reason code per reset, in order; the revised
+	// engine emits "basis-mismatch" (core row/column count disagreement),
+	// "lu-singular" (the structural-core LU factorization failed),
+	// "dual-drift" (recomputed reduced costs left the dual-feasible side
+	// beyond tolerance) and "pivot-disagreement" (the FTRAN column and the
+	// pricing row disagreed on the pivot element).
+	Resets       int
+	ResetReasons []string
 	// BasisSize is the structural-core dimension t of the basis at the
 	// last refactorization: the number of basic non-slack variables. For
 	// EBF it is bounded by the edge count no matter how many Steiner rows
@@ -28,6 +35,21 @@ type Stats struct {
 	// FillIn is nnz(L+U) − nnz(core) at the last refactorization: extra
 	// nonzeros the LU factorization introduced beyond the basis core.
 	FillIn int
+	// EtaLen is the eta-file length consumed by the last refactorization:
+	// how many product-form updates had accumulated since the previous
+	// factorization (0 when the basis was refactored with no pivots taken).
+	EtaLen int
+	// NumericalResidual is the engine's terminal numerical-health gauge.
+	// For the revised engine it is max |xB(eta replay) − xB(fresh FTRAN)|
+	// over basis positions at the last refactorization — the drift the eta
+	// file accumulated. For the IPM it is the final scaled KKT residual;
+	// for the cold simplex the worst constraint violation of the returned
+	// vertex. Small (≈ feasibility tolerance) is healthy.
+	NumericalResidual float64
+	// PivotMin and PivotMax are the smallest and largest |pivot element|
+	// accepted across all dual pivots (0 when no pivots ran). A PivotMin
+	// many orders below PivotMax warns of ill-conditioned bases.
+	PivotMin, PivotMax float64
 	// LogicalRows counts constraint rows as stated by the caller (an EQ or
 	// ranged row counts once). TableauRows counts engine-internal rows:
 	// the boxed revised engine stores EQ and ranged rows once (the slack
@@ -46,6 +68,13 @@ type Stats struct {
 	// test (flips are not pivots: they cost one shared FTRAN per batch).
 	RangedRows int
 	BoundFlips int
+	// GaugesValid marks the gauge fields (BasisSize, FillIn, EtaLen,
+	// NumericalResidual and the row counts) as explicitly sampled by an
+	// engine. Merge then takes other's gauge values unconditionally — a
+	// legitimately-zero gauge (e.g. FillIn 0 after a clean
+	// refactorization) replaces a stale nonzero one. Records built by hand
+	// without setting it fall back to the legacy take-when-positive rule.
+	GaugesValid bool
 
 	// Rounds is the number of row-generation rounds (filled by
 	// internal/core).
@@ -60,8 +89,13 @@ type Stats struct {
 	SolveTime      time.Duration
 }
 
-// Merge folds other into s: counters add, gauges (BasisSize, FillIn, row
-// counts) take other's value when set, and per-round traces concatenate.
+// Merge folds other into s: counters add, per-round traces and reset
+// reasons concatenate, pivot-element extremes widen, and gauges
+// (BasisSize, FillIn, EtaLen, NumericalResidual, row counts) take
+// other's value when other carries sampled gauges (GaugesValid), even
+// when that value is 0 — the newer sample wins. Hand-built records
+// without GaugesValid keep the legacy take-when-positive behaviour so
+// partial updates still compose.
 func (s *Stats) Merge(other Stats) {
 	s.Pivots += other.Pivots
 	s.Refactorizations += other.Refactorizations
@@ -71,11 +105,37 @@ func (s *Stats) Merge(other Stats) {
 	s.SeparationTime += other.SeparationTime
 	s.SolveTime += other.SolveTime
 	s.ViolatedByRound = append(s.ViolatedByRound, other.ViolatedByRound...)
+	s.ResetReasons = append(s.ResetReasons, other.ResetReasons...)
+	if other.PivotMax > s.PivotMax {
+		s.PivotMax = other.PivotMax
+	}
+	if other.PivotMin > 0 && (s.PivotMin == 0 || other.PivotMin < s.PivotMin) {
+		s.PivotMin = other.PivotMin
+	}
+	if other.GaugesValid {
+		s.BasisSize = other.BasisSize
+		s.FillIn = other.FillIn
+		s.EtaLen = other.EtaLen
+		s.NumericalResidual = other.NumericalResidual
+		s.LogicalRows = other.LogicalRows
+		s.TableauRows = other.TableauRows
+		s.LoweredTableauRows = other.LoweredTableauRows
+		s.RangedRows = other.RangedRows
+		s.RowNonzeros = other.RowNonzeros
+		s.GaugesValid = true
+		return
+	}
 	if other.BasisSize > 0 {
 		s.BasisSize = other.BasisSize
 	}
 	if other.FillIn > 0 {
 		s.FillIn = other.FillIn
+	}
+	if other.EtaLen > 0 {
+		s.EtaLen = other.EtaLen
+	}
+	if other.NumericalResidual > 0 {
+		s.NumericalResidual = other.NumericalResidual
 	}
 	if other.LogicalRows > 0 {
 		s.LogicalRows = other.LogicalRows
@@ -101,7 +161,12 @@ func (s Stats) String() string {
 		s.Pivots, s.BoundFlips, s.Refactorizations, s.BasisSize, s.FillIn, s.Resets)
 	fmt.Fprintf(&b, "rows %d logical / %d tableau (%d lowered, %d ranged)  nnz %d  rounds %d\n",
 		s.LogicalRows, s.TableauRows, s.LoweredTableauRows, s.RangedRows, s.RowNonzeros, s.Rounds)
+	fmt.Fprintf(&b, "eta-len %d  residual %.3g  pivot-el [%.3g, %.3g]\n",
+		s.EtaLen, s.NumericalResidual, s.PivotMin, s.PivotMax)
 	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
+	if len(s.ResetReasons) > 0 {
+		fmt.Fprintf(&b, "\nreset-reasons %v", s.ResetReasons)
+	}
 	if len(s.ViolatedByRound) > 0 {
 		fmt.Fprintf(&b, "\nviolated/round %v", s.ViolatedByRound)
 	}

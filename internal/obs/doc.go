@@ -1,0 +1,67 @@
+// Package obs is the observability layer of the LUBT pipeline:
+// hierarchical wall-clock spans with attached attributes, pprof phase
+// labels, and a stable JSON emission format.
+//
+// # Span model
+//
+// A Tracer records a tree of Spans. Each span covers one phase of a
+// solve; the canonical hierarchy produced by a traced lubt solve is
+//
+//	solve
+//	├── ebf                      row-generation loop (internal/core)
+//	│   └── round                one cutting-plane round
+//	│       ├── lp-solve         warm LP re-solve
+//	│       │   └── refactorize  basis refactorization (lp.Revised)
+//	│       └── separation       violated-pair oracle scan
+//	└── embed                    geometric embedding (internal/embed)
+//	    ├── bottom-up            feasible-region merge
+//	    └── top-down             placement walk
+//
+// (the Elmore path replaces "ebf" with "slp" and per-iteration
+// "slp-iter" spans). Spans carry numeric and string attributes —
+// violated-pair counts, pivot counts, numerical-health gauges, reset
+// reason codes — set via SetInt, SetFloat and SetString.
+//
+// # Disabled tracer contract
+//
+// A nil *Tracer is the disabled tracer. Every method on *Tracer and
+// *Span is a nil-receiver no-op that performs no allocation, so call
+// sites are written unconditionally:
+//
+//	sp := tr.Start("separation") // tr may be nil
+//	...
+//	sp.SetInt("violated", n)     // sp is nil when tr was
+//	sp.End()
+//
+// This is what keeps the instrumented hot paths free when tracing is
+// off; TestNilTracerAllocs pins the zero-allocation property.
+//
+// # pprof labels
+//
+// While a span is open, the recording goroutine carries the pprof label
+// lubt_span=<name>, so CPU profiles taken during a traced solve segment
+// by phase (go tool pprof -tagfocus lubt_span=separation ...). Labels
+// are inherited by goroutines started inside a span (the separation
+// oracle's worker stripes). Spans must be started and ended on one
+// goroutine — the tracer is not safe for concurrent span recording.
+//
+// # JSON schema (lubt-trace/1)
+//
+// Tracer.WriteJSON emits
+//
+//	{
+//	  "schema": "lubt-trace/1",
+//	  "root": {
+//	    "name": "solve",
+//	    "start_us": 0,          // offset from trace start, microseconds
+//	    "dur_us": 12345,
+//	    "attrs": {"cost": 812.5, ...},   // optional; numbers or strings
+//	    "children": [ ...same shape... ] // optional
+//	  }
+//	}
+//
+// The key set of every span object is fixed (name, start_us, dur_us and
+// the optional attrs/children); new information is added as attributes,
+// never as new keys, so downstream consumers can rely on the shape.
+// TestTraceJSONSchema locks this contract.
+package obs

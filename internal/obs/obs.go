@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"time"
+)
+
+// TraceSchema identifies the JSON layout emitted by WriteJSON; bump it
+// when the span-object key set changes (attribute additions do not count).
+const TraceSchema = "lubt-trace/1"
+
+// Tracer records a tree of spans. The zero value is not used; construct
+// with NewTracer. A nil *Tracer is the disabled tracer: every method on
+// it (and on the nil *Span its Start returns) is an allocation-free
+// no-op. Spans must be recorded from a single goroutine.
+type Tracer struct {
+	root *Span
+	cur  *Span
+}
+
+// Span is one timed phase of a solve. The exported accessors exist for
+// tests and in-process consumers; external consumers read the JSON form.
+type Span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration
+	done     bool
+	attrs    []attr
+	children []*Span
+	parent   *Span
+	tr       *Tracer
+	ctx      context.Context // pprof label context while this span is open
+}
+
+// attr is one span attribute: numeric unless isStr is set.
+type attr struct {
+	key   string
+	num   float64
+	str   string
+	isStr bool
+}
+
+// NewTracer starts an enabled tracer whose root span opens immediately,
+// and installs the root's pprof label on the calling goroutine.
+func NewTracer(rootName string) *Tracer {
+	t := &Tracer{}
+	root := &Span{name: rootName, start: time.Now(), tr: t}
+	root.ctx = pprof.WithLabels(context.Background(), pprof.Labels("lubt_span", rootName))
+	pprof.SetGoroutineLabels(root.ctx)
+	t.root = root
+	t.cur = root
+	return t
+}
+
+// Enabled reports whether spans are being recorded (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start opens a child span of the innermost open span and makes it
+// current. Returns nil (a valid no-op span) on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now(), parent: t.cur, tr: t}
+	s.ctx = pprof.WithLabels(t.cur.ctx, pprof.Labels("lubt_span", name))
+	pprof.SetGoroutineLabels(s.ctx)
+	t.cur.children = append(t.cur.children, s)
+	t.cur = s
+	return s
+}
+
+// Root returns the root span (nil on a nil tracer).
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Close ends the root span — and with it every span still open — and
+// clears the goroutine's pprof labels. Idempotent; safe on nil.
+func (t *Tracer) Close() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+	pprof.SetGoroutineLabels(context.Background())
+}
+
+// End closes the span: it fixes the duration, closes any descendants
+// left open (error paths may unwind past inner spans), pops the
+// tracer's current-span pointer and restores the parent's pprof label.
+// Ending an already-ended span is a no-op, as is ending a nil span.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	t := s.tr
+	if t != nil {
+		onChain := false
+		for c := t.cur; c != nil; c = c.parent {
+			if c == s {
+				onChain = true
+				break
+			}
+		}
+		if onChain {
+			for c := t.cur; c != nil && c != s; c = c.parent {
+				c.finish()
+			}
+			t.cur = s.parent
+		}
+	}
+	s.finish()
+	if t != nil && s.parent != nil {
+		pprof.SetGoroutineLabels(s.parent.ctx)
+	}
+}
+
+func (s *Span) finish() {
+	if s.done {
+		return
+	}
+	s.dur = time.Since(s.start)
+	s.done = true
+}
+
+// SetFloat attaches (or overwrites) a numeric attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.set(attr{key: key, num: v})
+}
+
+// SetInt attaches (or overwrites) an integer attribute.
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.set(attr{key: key, num: float64(v)})
+}
+
+// SetString attaches (or overwrites) a string attribute.
+func (s *Span) SetString(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(attr{key: key, str: v, isStr: true})
+}
+
+func (s *Span) set(a attr) {
+	for i := range s.attrs {
+		if s.attrs[i].key == a.key {
+			s.attrs[i] = a
+			return
+		}
+	}
+	s.attrs = append(s.attrs, a)
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration (0 while open or for nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Children returns the child spans in recording order (nil for nil).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	return s.children
+}
+
+// Attr returns the attribute value for key and whether it was set.
+// String attributes are returned as their string; numeric as float64.
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	for _, a := range s.attrs {
+		if a.key == key {
+			if a.isStr {
+				return a.str, true
+			}
+			return a.num, true
+		}
+	}
+	return nil, false
+}
+
+// Find returns the first descendant span (depth-first, including s)
+// with the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// spanJSON is the serialized form of one span (schema lubt-trace/1).
+type spanJSON struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*spanJSON    `json:"children,omitempty"`
+}
+
+type traceJSON struct {
+	Schema string    `json:"schema"`
+	Root   *spanJSON `json:"root"`
+}
+
+func (s *Span) toJSON(epoch time.Time) *spanJSON {
+	out := &spanJSON{
+		Name:    s.name,
+		StartUS: s.start.Sub(epoch).Microseconds(),
+		DurUS:   s.dur.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			if a.isStr {
+				out.Attrs[a.key] = a.str
+			} else {
+				out.Attrs[a.key] = a.num
+			}
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.toJSON(epoch))
+	}
+	return out
+}
+
+// WriteJSON closes the trace (ending any open spans) and writes the
+// span tree in the lubt-trace/1 schema, indented for human reading.
+// Calling it on a nil tracer is an error: the caller asked for a trace
+// that was never recorded.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: WriteJSON on a disabled tracer")
+	}
+	t.Close()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceJSON{Schema: TraceSchema, Root: t.root.toJSON(t.root.start)})
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer("solve")
+	a := tr.Start("a")
+	a1 := tr.Start("a1")
+	a1.SetInt("k", 3)
+	a1.End()
+	a.End()
+	b := tr.Start("b")
+	b.SetString("why", "because")
+	b.SetFloat("x", 1.5)
+	b.SetFloat("x", 2.5) // overwrite, not duplicate
+	b.End()
+	tr.Close()
+
+	root := tr.Root()
+	if root.Name() != "solve" || len(root.Children()) != 2 {
+		t.Fatalf("root %q with %d children", root.Name(), len(root.Children()))
+	}
+	if got := root.Find("a1"); got == nil || got.Duration() < 0 {
+		t.Fatalf("a1 not recorded: %v", got)
+	}
+	if v, ok := root.Find("a1").Attr("k"); !ok || v.(float64) != 3 {
+		t.Errorf("a1 attr k = %v, %v", v, ok)
+	}
+	if v, ok := root.Find("b").Attr("x"); !ok || v.(float64) != 2.5 {
+		t.Errorf("overwritten attr x = %v", v)
+	}
+	if v, ok := root.Find("b").Attr("why"); !ok || v.(string) != "because" {
+		t.Errorf("string attr = %v", v)
+	}
+	if !root.done {
+		t.Error("Close did not end the root")
+	}
+}
+
+func TestEndClosesOpenDescendants(t *testing.T) {
+	tr := NewTracer("solve")
+	outer := tr.Start("outer")
+	tr.Start("inner") // never explicitly ended
+	outer.End()       // must sweep inner closed and pop to root
+	if in := tr.Root().Find("inner"); in == nil || !in.done {
+		t.Fatalf("inner not swept closed: %v", in)
+	}
+	if tr.cur != tr.Root() {
+		t.Errorf("current span not popped to root")
+	}
+	// Ending again is a no-op.
+	d := outer.Duration()
+	time.Sleep(time.Millisecond)
+	outer.End()
+	if outer.Duration() != d {
+		t.Error("double End changed the duration")
+	}
+	tr.Close()
+}
+
+// TestNilTracerAllocs pins the disabled-tracer contract: a nil *Tracer
+// (and the nil *Span it hands out) must be allocation-free no-ops.
+func TestNilTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer claims enabled")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("x")
+		sp.SetInt("a", 1)
+		sp.SetFloat("b", 2)
+		sp.SetString("c", "d")
+		sp.End()
+		tr.Close()
+		_ = tr.Root()
+		_ = sp.Find("x")
+		_, _ = sp.Attr("a")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracer allocated %.1f per op", allocs)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err == nil {
+		t.Error("WriteJSON on nil tracer did not error")
+	}
+}
+
+// TestTraceJSONSchema locks the lubt-trace/1 shape: top-level keys,
+// per-span key set, attribute typing, and child nesting.
+func TestTraceJSONSchema(t *testing.T) {
+	tr := NewTracer("solve")
+	sp := tr.Start("round")
+	sp.SetInt("violated", 7)
+	sp.SetString("engine", "revised")
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("top-level keys %v, want exactly {schema, root}", keys(top))
+	}
+	var schema string
+	if err := json.Unmarshal(top["schema"], &schema); err != nil || schema != TraceSchema {
+		t.Fatalf("schema = %q, want %q", schema, TraceSchema)
+	}
+
+	var checkSpan func(raw json.RawMessage, path string)
+	checkSpan = func(raw json.RawMessage, path string) {
+		var sp map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &sp); err != nil {
+			t.Fatalf("%s: not an object: %v", path, err)
+		}
+		for _, req := range []string{"name", "start_us", "dur_us"} {
+			if _, ok := sp[req]; !ok {
+				t.Errorf("%s: missing required key %q", path, req)
+			}
+		}
+		for k := range sp {
+			switch k {
+			case "name", "start_us", "dur_us", "attrs", "children":
+			default:
+				t.Errorf("%s: unexpected key %q (schema drift — bump lubt-trace version)", path, k)
+			}
+		}
+		var kids []json.RawMessage
+		if c, ok := sp["children"]; ok {
+			if err := json.Unmarshal(c, &kids); err != nil {
+				t.Fatalf("%s: children not an array: %v", path, err)
+			}
+		}
+		for i, c := range kids {
+			checkSpan(c, path+".children["+string(rune('0'+i))+"]")
+		}
+	}
+	checkSpan(top["root"], "root")
+
+	// The attributes round-trip with their types.
+	var tree struct {
+		Root struct {
+			Children []struct {
+				Name  string         `json:"name"`
+				Attrs map[string]any `json:"attrs"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tree); err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Root.Children) != 1 || tree.Root.Children[0].Name != "round" {
+		t.Fatalf("children: %+v", tree.Root.Children)
+	}
+	attrs := tree.Root.Children[0].Attrs
+	if attrs["violated"] != 7.0 || attrs["engine"] != "revised" {
+		t.Errorf("attrs = %v", attrs)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -27,6 +27,7 @@ package lubt
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"lubt/internal/bst"
@@ -35,6 +36,7 @@ import (
 	"lubt/internal/embed"
 	"lubt/internal/geom"
 	"lubt/internal/lp"
+	"lubt/internal/obs"
 	"lubt/internal/topology"
 	"lubt/internal/zst"
 )
@@ -110,6 +112,32 @@ type Options struct {
 	// GOMAXPROCS. The oracle's output order is deterministic for any
 	// worker count.
 	OracleWorkers int
+	// TraceJSON, when non-nil, enables span tracing for the solve and
+	// writes the resulting span tree (schema "lubt-trace/1"; see package
+	// internal/obs) to the writer on success. Nil (the default) disables
+	// tracing entirely — the disabled path is allocation-free.
+	TraceJSON io.Writer
+}
+
+// tracer builds the solve tracer when tracing is requested; the nil
+// tracer it otherwise returns disables every obs call site.
+func (o *Options) tracer(root string) *obs.Tracer {
+	if o == nil || o.TraceJSON == nil {
+		return nil
+	}
+	return obs.NewTracer(root)
+}
+
+// writeTrace closes the tracer and emits its JSON when tracing is on.
+func (o *Options) writeTrace(tr *obs.Tracer) error {
+	if !tr.Enabled() {
+		return nil
+	}
+	tr.Close()
+	if err := tr.WriteJSON(o.TraceJSON); err != nil {
+		return fmt.Errorf("lubt: writing trace: %w", err)
+	}
+	return nil
 }
 
 // lpSolver maps the option string to an explicit lp.Solver plus a warm
@@ -268,7 +296,8 @@ func (in *Instance) Solve(b Bounds, opt *Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	copts := &core.Options{Solver: solver, Engine: engine}
+	tr := opt.tracer("solve")
+	copts := &core.Options{Solver: solver, Engine: engine, Tracer: tr}
 	if opt != nil {
 		copts.FullMatrix = opt.FullMatrix
 		copts.OracleWorkers = opt.OracleWorkers
@@ -284,11 +313,14 @@ func (in *Instance) Solve(b Bounds, opt *Options) (*Tree, error) {
 		}
 		return nil, err
 	}
-	tree, err := in.finish(ci, cb, res.E, res.Cost, opt)
+	tree, err := in.finish(ci, cb, res.E, res.Cost, opt, tr)
 	if err != nil {
 		return nil, err
 	}
 	tree.Stats = solveStatsFrom(res)
+	if err := opt.writeTrace(tr); err != nil {
+		return nil, err
+	}
 	return tree, nil
 }
 
@@ -314,7 +346,8 @@ func (in *Instance) SolveElmore(b Bounds, rw, cw float64, sinkCap []float64, opt
 		mdl.SinkCap = make([]float64, len(in.sinks)+1)
 		copy(mdl.SinkCap[1:], sinkCap)
 	}
-	eopts := &core.ElmoreOptions{Model: mdl, Solver: solver}
+	tr := opt.tracer("solve-elmore")
+	eopts := &core.ElmoreOptions{Model: mdl, Solver: solver, Tracer: tr}
 	if opt != nil && opt.Weights != nil {
 		eopts.Weights = opt.Weights
 	}
@@ -326,7 +359,7 @@ func (in *Instance) SolveElmore(b Bounds, rw, cw float64, sinkCap []float64, opt
 		}
 		return nil, err
 	}
-	tree, err := in.finish(ci, core.UniformBounds(len(in.sinks), 0, math.Inf(1)), res.E, res.Cost, opt)
+	tree, err := in.finish(ci, core.UniformBounds(len(in.sinks), 0, math.Inf(1)), res.E, res.Cost, opt, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -335,15 +368,22 @@ func (in *Instance) SolveElmore(b Bounds, rw, cw float64, sinkCap []float64, opt
 		tree.SinkDelays[i] = res.Delays[i+1]
 	}
 	tree.recomputeStats()
+	// The merged SLP record (warm start + one lp.Stats per iteration)
+	// becomes the tree's public stats.
+	tree.Stats = solveStatsFromLP(res.Stats)
+	if err := opt.writeTrace(tr); err != nil {
+		return nil, err
+	}
 	return tree, nil
 }
 
 // finish embeds edge lengths and assembles the public Tree.
-func (in *Instance) finish(ci *core.Instance, cb core.Bounds, e []float64, cost float64, opt *Options) (*Tree, error) {
+func (in *Instance) finish(ci *core.Instance, cb core.Bounds, e []float64, cost float64, opt *Options, tr *obs.Tracer) (*Tree, error) {
 	eo, err := opt.embedOptions()
 	if err != nil {
 		return nil, err
 	}
+	eo.Tracer = tr
 	pl, err := embed.Place(ci.Tree, ci.SinkLoc, ci.Source, e, eo)
 	if err != nil {
 		return nil, fmt.Errorf("lubt: embedding failed: %w", err)

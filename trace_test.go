@@ -1,0 +1,174 @@
+package lubt
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lubt/internal/obs"
+)
+
+// traceSpan mirrors the lubt-trace/1 span shape for test decoding.
+type traceSpan struct {
+	Name     string         `json:"name"`
+	StartUS  *float64       `json:"start_us"`
+	DurUS    *float64       `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs"`
+	Children []traceSpan    `json:"children"`
+}
+
+func findSpan(sp *traceSpan, name string) *traceSpan {
+	if sp.Name == name {
+		return sp
+	}
+	for i := range sp.Children {
+		if got := findSpan(&sp.Children[i], name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// TestSolveTraceGolden drives the public API with tracing on and pins the
+// emitted document: schema string, the span hierarchy of a linear-delay
+// solve (solve → ebf → round → {lp-solve, separation} and solve → embed →
+// bottom-up/top-down), and the key attributes.
+func TestSolveTraceGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	sinks := randPoints(rng, 12)
+	inst, err := NewInstance(sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.UseSkewGuidedTopology(10); err != nil {
+		t.Fatal(err)
+	}
+	r := inst.Radius()
+	var buf bytes.Buffer
+	tree, err := inst.Solve(Uniform(12, 0.8*r, 1.3*r), &Options{TraceJSON: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		Schema string    `json:"schema"`
+		Root   traceSpan `json:"root"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Schema != obs.TraceSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, obs.TraceSchema)
+	}
+	if doc.Root.Name != "solve" {
+		t.Fatalf("root span %q, want solve", doc.Root.Name)
+	}
+	for _, name := range []string{"ebf", "round", "lp-solve", "separation", "embed", "bottom-up", "top-down"} {
+		if findSpan(&doc.Root, name) == nil {
+			t.Errorf("span %q missing from trace", name)
+		}
+	}
+	// Structural checks: round spans nest under ebf and carry lp-solve +
+	// separation children; every span has timing fields.
+	ebf := findSpan(&doc.Root, "ebf")
+	round := findSpan(ebf, "round")
+	if round == nil || findSpan(round, "lp-solve") == nil || findSpan(round, "separation") == nil {
+		t.Fatalf("round structure wrong: %+v", round)
+	}
+	if round.StartUS == nil || round.DurUS == nil {
+		t.Error("round span missing start_us/dur_us")
+	}
+	if v, ok := findSpan(round, "separation").Attrs["violated"]; !ok {
+		t.Error("separation span lacks violated attr")
+	} else if _, isNum := v.(float64); !isNum {
+		t.Errorf("violated attr not numeric: %T", v)
+	}
+	if s, ok := findSpan(round, "lp-solve").Attrs["status"]; !ok || s != "optimal" {
+		t.Errorf("lp-solve status attr = %v", s)
+	}
+	if findSpan(&doc.Root, "embed").Children[0].Name != "bottom-up" {
+		t.Error("embed's first child is not bottom-up")
+	}
+
+	// The public stats carry the new gauges alongside the trace.
+	st := tree.Stats
+	if st.LPIterations <= 0 || st.PivotMax <= 0 {
+		t.Errorf("stats missing pivot data: %+v", st)
+	}
+	out := st.String()
+	for _, want := range []string{"eta-len", "residual", "pivot-el"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SolveStats.String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSolveElmoreTrace checks the Elmore path's root span and per-SLP
+// iteration children.
+func TestSolveElmoreTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	sinks := randPoints(rng, 8)
+	inst, err := NewInstance(sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.UseSkewGuidedTopology(10); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tree, err := inst.SolveElmore(Uniform(8, 0, 1e9), 0.1, 0.2, nil, &Options{TraceJSON: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string    `json:"schema"`
+		Root   traceSpan `json:"root"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Name != "solve-elmore" {
+		t.Fatalf("root span %q, want solve-elmore", doc.Root.Name)
+	}
+	for _, name := range []string{"slp", "ebf", "slp-iter", "embed"} {
+		if findSpan(&doc.Root, name) == nil {
+			t.Errorf("span %q missing from Elmore trace", name)
+		}
+	}
+	// The merged SLP stats are surfaced on the tree.
+	if tree.Stats.LPIterations <= 0 || tree.Stats.Rounds <= 0 {
+		t.Errorf("Elmore tree stats empty: %+v", tree.Stats)
+	}
+}
+
+// TestSolveNoTraceIsSilent pins that a nil TraceJSON produces no tracer
+// work and identical results.
+func TestSolveNoTraceIsSilent(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	sinks := randPoints(rng, 10)
+	inst, _ := NewInstance(sinks)
+	if err := inst.UseSkewGuidedTopology(10); err != nil {
+		t.Fatal(err)
+	}
+	r := inst.Radius()
+	a, err := inst.Solve(Uniform(10, 0, 1.5*r), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b, err := inst.Solve(Uniform(10, 0, 1.5*r), &Options{TraceJSON: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("tracing changed the solve: cost %g vs %g", a.Cost, b.Cost)
+	}
+	if buf.Len() == 0 {
+		t.Error("trace writer received nothing")
+	}
+}

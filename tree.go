@@ -9,6 +9,7 @@ import (
 
 	"lubt/internal/core"
 	"lubt/internal/embed"
+	"lubt/internal/lp"
 )
 
 // Tree is a routed LUBT: topology, optimal edge lengths, the embedding,
@@ -80,6 +81,18 @@ type SolveStats struct {
 	// boxed dual ratio test (cheaper than pivots: one shared FTRAN per
 	// batch).
 	BoundFlips int
+	// EtaLen is the eta-file length consumed by the engine's last
+	// refactorization; NumericalResidual is the terminal numerical-health
+	// gauge (eta-replay drift for the revised engine, final scaled KKT
+	// residual for the IPM, worst constraint violation of the returned
+	// vertex for the cold simplex). PivotMin/PivotMax bracket the |pivot
+	// element| magnitudes accepted across the solve — a PivotMin many
+	// orders below PivotMax warns of ill-conditioned bases. ResetReasons
+	// lists one reason code per basis reset, in order (see lp.Stats).
+	EtaLen             int
+	NumericalResidual  float64
+	PivotMin, PivotMax float64
+	ResetReasons       []string
 	// ViolatedByRound is the separation oracle's violated-pair count per
 	// round (0 in the last entry on convergence).
 	ViolatedByRound []int
@@ -99,7 +112,12 @@ func (s SolveStats) String() string {
 		s.LogicalRows, s.TableauRows, s.LoweredTableauRows, s.RangedRows, s.RowNonzeros)
 	fmt.Fprintf(&b, "refactorizations %d  basis %d  fill-in %d  resets %d  bound-flips %d\n",
 		s.Refactorizations, s.BasisSize, s.FillIn, s.Resets, s.BoundFlips)
+	fmt.Fprintf(&b, "eta-len %d  residual %.3g  pivot-el [%.3g, %.3g]\n",
+		s.EtaLen, s.NumericalResidual, s.PivotMin, s.PivotMax)
 	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
+	if len(s.ResetReasons) > 0 {
+		fmt.Fprintf(&b, "\nreset-reasons %v", s.ResetReasons)
+	}
 	if len(s.ViolatedByRound) > 0 {
 		fmt.Fprintf(&b, "\nviolated/round %v", s.ViolatedByRound)
 	}
@@ -108,11 +126,20 @@ func (s SolveStats) String() string {
 
 // solveStatsFrom converts the internal result record to the public one.
 func solveStatsFrom(res *core.Result) SolveStats {
-	st := res.Stats
+	s := solveStatsFromLP(res.Stats)
+	s.Rounds = res.Rounds
+	s.SteinerRows = res.RowsUsed
+	s.LPIterations = res.LPIterations
+	return s
+}
+
+// solveStatsFromLP maps a raw lp.Stats record onto the public SolveStats
+// (used directly for the Elmore path, whose merged record already carries
+// rounds and pivots).
+func solveStatsFromLP(st lp.Stats) SolveStats {
 	return SolveStats{
-		Rounds:             res.Rounds,
-		SteinerRows:        res.RowsUsed,
-		LPIterations:       res.LPIterations,
+		Rounds:             st.Rounds,
+		LPIterations:       st.Pivots,
 		Refactorizations:   st.Refactorizations,
 		Resets:             st.Resets,
 		BasisSize:          st.BasisSize,
@@ -123,6 +150,11 @@ func solveStatsFrom(res *core.Result) SolveStats {
 		RangedRows:         st.RangedRows,
 		RowNonzeros:        st.RowNonzeros,
 		BoundFlips:         st.BoundFlips,
+		EtaLen:             st.EtaLen,
+		NumericalResidual:  st.NumericalResidual,
+		PivotMin:           st.PivotMin,
+		PivotMax:           st.PivotMax,
+		ResetReasons:       append([]string(nil), st.ResetReasons...),
 		ViolatedByRound:    append([]int(nil), st.ViolatedByRound...),
 		SeparationTime:     st.SeparationTime,
 		SolveTime:          st.SolveTime,
