@@ -38,19 +38,27 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== bench smoke (lubt-bench/1 JSON)"
+echo "== bench smoke (lubt-bench/1 JSON + pricing pivot gate)"
+# Each reference bench is run through `lubtbench -json` (the
+# revised/devex, revised/most-violated, dense lineup), then the emitted
+# record is schema-validated (TestBenchJSONFile) and passed through the
+# pricing regression gate (TestBenchJSONPivotGate): Devex must not take
+# more dual pivots than the most-violated baseline. r4-s is the
+# degenerate-tie-heavy instance where the schemes actually separate.
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-go run ./cmd/lubtbench -json -bench prim1-s -repeats 1 -outdir "$tmp"
-bench_json="$tmp/BENCH_prim1-s.json"
-if [ ! -s "$bench_json" ]; then
-	echo "ci: lubtbench -json produced no output" >&2
-	exit 1
-fi
-if ! grep -q '"schema": "lubt-bench/1"' "$bench_json"; then
-	echo "ci: $bench_json missing lubt-bench/1 schema marker" >&2
-	exit 1
-fi
-LUBT_BENCH_JSON="$bench_json" go test -run TestBenchJSONFile ./internal/experiments
+for bench in prim1-s r4-s; do
+	go run ./cmd/lubtbench -json -bench "$bench" -repeats 1 -outdir "$tmp"
+	bench_json="$tmp/BENCH_$bench.json"
+	if [ ! -s "$bench_json" ]; then
+		echo "ci: lubtbench -json produced no output for $bench" >&2
+		exit 1
+	fi
+	if ! grep -q '"schema": "lubt-bench/1"' "$bench_json"; then
+		echo "ci: $bench_json missing lubt-bench/1 schema marker" >&2
+		exit 1
+	fi
+	LUBT_BENCH_JSON="$bench_json" go test -run 'TestBenchJSONFile|TestBenchJSONPivotGate' ./internal/experiments
+done
 
 echo "ci: ok"

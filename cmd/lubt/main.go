@@ -5,7 +5,8 @@
 // Usage:
 //
 //	lubt -in sinks.txt -lower 0.8 -upper 1.2 [-skew-topology 0.4]
-//	     [-normalized] [-use-source] [-solver simplex|ipm] [-svg out.svg]
+//	     [-normalized] [-use-source] [-solver simplex|ipm]
+//	     [-pricing devex|mostviolated|steepest] [-svg out.svg]
 //	     [-stats] [-trace trace.json]
 //
 // The input format is the one emitted by gensinks: one "x y" pair per
@@ -35,6 +36,7 @@ func main() {
 		useSource  = flag.Bool("use-source", false, "pin the source to the file's source line")
 		skewTopo   = flag.Float64("skew-topology", math.Inf(1), "skew bound guiding the topology generator")
 		solver     = flag.String("solver", "simplex", "LP solver: simplex, densesimplex, coldsimplex or ipm")
+		pricing    = flag.String("pricing", "", "dual-simplex pricing: devex (default), mostviolated or steepest (solver=simplex only)")
 		svgPath    = flag.String("svg", "", "write the routed tree as SVG to this file")
 		jsonPath   = flag.String("json", "", "write the routed tree as JSON to this file")
 		boundsPath = flag.String("bounds", "", "per-sink bounds file (one \"l u\" line per sink, overrides -lower/-upper)")
@@ -45,7 +47,7 @@ func main() {
 	cfg := runConfig{
 		inPath: *inPath, lower: *lower, upper: *upper,
 		normalized: *normalized, useSource: *useSource, skewTopo: *skewTopo,
-		solver: *solver, svgPath: *svgPath, jsonPath: *jsonPath,
+		solver: *solver, pricing: *pricing, svgPath: *svgPath, jsonPath: *jsonPath,
 		boundsPath: *boundsPath, showStats: *stats, tracePath: *tracePath,
 	}
 	if err := run(cfg); err != nil {
@@ -61,6 +63,7 @@ type runConfig struct {
 	normalized, useSource bool
 	skewTopo              float64
 	solver                string
+	pricing               string
 	svgPath, jsonPath     string
 	boundsPath            string
 	showStats             bool
@@ -122,7 +125,7 @@ func run(cfg runConfig) error {
 	} else {
 		bounds = lubt.Uniform(len(sinks), l, u)
 	}
-	opts := &lubt.Options{Solver: cfg.solver}
+	opts := &lubt.Options{Solver: cfg.solver, Pricing: cfg.pricing}
 	var traceFile *os.File
 	if cfg.tracePath != "" {
 		var err error

@@ -9,14 +9,21 @@
 //	lubtbench -table 1     # just Table 1
 //	lubtbench -figure 8    # just the Figure 8 curve
 //	lubtbench -full        # full-size instances
-//	lubtbench -stats       # LP engine statistics, revised vs dense
+//	lubtbench -stats       # LP engine statistics per engine/pricing
 //	lubtbench -json        # write BENCH_<name>.json records instead
 //	lubtbench -json -bench prim1-s -repeats 5 -outdir out/
 //
-// With -json, one machine-readable BENCH_<name>.json file (schema
-// "lubt-bench/1") is written per benchmark into -outdir (default "."),
-// carrying the full LP-engine statistics spine with median-of-repeats
-// timings; see EXPERIMENTS.md for the field reference.
+// -stats and -json run the three-engine lineup on each benchmark:
+// "revised" (the sparse boxed dual simplex under its default Devex
+// pricing), "revised-mv" (same engine, most-violated pricing — the
+// pivot-count ablation baseline) and "dense" (the dense-tableau
+// ablation). With -json, one machine-readable BENCH_<name>.json file
+// (schema "lubt-bench/1") is written per benchmark into -outdir
+// (default "."), carrying the full LP-engine statistics spine —
+// including pricing_scheme, devex_resets and the reference-weight
+// extremes — with median-of-repeats timings; see EXPERIMENTS.md for the
+// field reference. ci.sh's bench smoke validates these files and gates
+// the Devex-vs-most-violated pivot counts (experiments.CheckPivotGate).
 package main
 
 import (
@@ -33,7 +40,7 @@ func main() {
 		tableN   = flag.Int("table", 0, "run only this table (1, 2 or 3)")
 		figureN  = flag.Int("figure", 0, "run only this figure (8)")
 		full     = flag.Bool("full", false, "use full-size benchmark instances")
-		stats    = flag.Bool("stats", false, "print LP engine statistics (revised vs dense) instead of the tables")
+		stats    = flag.Bool("stats", false, "print LP engine statistics (revised/devex, revised/most-violated, dense) instead of the tables")
 		jsonOut  = flag.Bool("json", false, "write per-benchmark BENCH_<name>.json records (schema lubt-bench/1) instead of the tables")
 		benchSel = flag.String("bench", "", "restrict -stats/-json to this one benchmark (e.g. prim1-s)")
 		repeats  = flag.Int("repeats", experiments.DefaultRepeats, "timing repeats per solve; medians are reported")

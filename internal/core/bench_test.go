@@ -44,23 +44,45 @@ func benchInstance(tb testing.TB, name string) (*Instance, Bounds) {
 }
 
 // BenchmarkWarmResolve times the full §4.6 row-generation loop — the
-// repeated warm re-solves after each cutting-plane batch — on prim2-s,
-// once per engine. This is the headline comparison for the revised
-// dual-simplex engine versus the dense-tableau ablation.
+// repeated warm re-solves after each cutting-plane batch — per engine
+// and pricing scheme. prim2-s carries the full lineup including the
+// dense-tableau ablation; r4-s and r5-s are the degenerate-tie-heavy
+// headline workloads where the pricing schemes separate (dense is
+// omitted there: it is ~3× slower and adds nothing to the pricing
+// comparison). Dual pivot counts are reported per op so the wall-time
+// and pivot trends can be read from one `go test -bench` run.
 func BenchmarkWarmResolve(b *testing.B) {
-	in, cb := benchInstance(b, "prim2-s")
-	for _, eng := range []string{"revised", "dense"} {
-		b.Run(eng, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				res, err := Solve(in, cb, &Options{Engine: eng})
-				if err != nil {
-					b.Fatal(err)
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"revised-devex", Options{Pricing: "devex"}},
+		{"revised-mv", Options{Pricing: "mostviolated"}},
+		{"revised-steepest", Options{Pricing: "steepest"}},
+		{"dense", Options{Engine: "dense"}},
+	}
+	for _, bench := range []struct {
+		name     string
+		variants int // prefix of the lineup to run
+	}{{"prim2-s", 4}, {"r4-s", 3}, {"r5-s", 3}} {
+		in, cb := benchInstance(b, bench.name)
+		for _, v := range variants[:bench.variants] {
+			b.Run(bench.name+"/"+v.name, func(b *testing.B) {
+				pivots := 0
+				for i := 0; i < b.N; i++ {
+					opt := v.opt
+					res, err := Solve(in, cb, &opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Rounds == 0 {
+						b.Fatal("no row-generation rounds")
+					}
+					pivots = res.Stats.Pivots
 				}
-				if res.Rounds == 0 {
-					b.Fatal("no row-generation rounds")
-				}
-			}
-		})
+				b.ReportMetric(float64(pivots), "pivots/op")
+			})
+		}
 	}
 }
 

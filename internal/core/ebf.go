@@ -23,6 +23,12 @@ type Options struct {
 	// "" or "revised" is the sparse revised dual simplex (the default),
 	// "dense" or "densesimplex" the dense-tableau ablation engine.
 	Engine string
+	// Pricing selects the leaving-row rule of the revised engine (see
+	// lp.ParsePricing): "" or "devex" (the default), "mostviolated" for
+	// the classic most-violated rule, "steepest" for the exact
+	// steepest-edge cross-check. Only meaningful for the revised engine;
+	// setting it with a cold Solver or the dense engine is an error.
+	Pricing string
 	// OracleWorkers bounds the separation-oracle worker pool; 0 means
 	// GOMAXPROCS. The oracle's output is deterministic regardless.
 	OracleWorkers int
@@ -58,7 +64,14 @@ func (o *Options) tracer() *obs.Tracer {
 // incremental engine by default, or a cold adapter around the explicit
 // solver for cross-checking and ablation.
 func (o *Options) engine(n int, w []float64) (lp.RowEngine, error) {
+	pricing := ""
+	if o != nil {
+		pricing = o.Pricing
+	}
 	if o != nil && o.Solver != nil {
+		if pricing != "" {
+			return nil, fmt.Errorf("core: Pricing %q has no effect with an explicit cold Solver", pricing)
+		}
 		return newColdEngine(n, w, o.Solver), nil
 	}
 	name := ""
@@ -67,8 +80,17 @@ func (o *Options) engine(n int, w []float64) (lp.RowEngine, error) {
 	}
 	switch name {
 	case "", "revised":
-		return lp.NewRevised(n, w), nil
+		p, err := lp.ParsePricing(pricing)
+		if err != nil {
+			return nil, fmt.Errorf("core: %v", err)
+		}
+		rv := lp.NewRevised(n, w)
+		rv.SetPricing(p)
+		return rv, nil
 	case "dense", "densesimplex":
+		if pricing != "" {
+			return nil, fmt.Errorf("core: Pricing %q has no effect with the dense engine", pricing)
+		}
 		return lp.NewIncremental(n, w), nil
 	}
 	return nil, fmt.Errorf("core: unknown LP engine %q", name)

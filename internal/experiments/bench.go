@@ -47,14 +47,24 @@ type EngineRecord struct {
 	NumericalResidual  float64 `json:"numerical_residual"`
 	PivotMin           float64 `json:"pivot_min"`
 	PivotMax           float64 `json:"pivot_max"`
-	SepScanNS          int64   `json:"sep_scan_ns"`
-	LPSolveNS          int64   `json:"lp_solve_ns"`
-	WallNS             int64   `json:"wall_ns"`
+	// PricingScheme is the revised engine's leaving-row rule ("devex",
+	// "most-violated", "steepest-exact"; "" on the dense engine), and
+	// DevexResets / WeightMin / WeightMax its reference-weight health
+	// gauges — appended in lubt-bench/1 (append-only within the major
+	// version, so consumers of the original key set stay valid).
+	PricingScheme string  `json:"pricing_scheme"`
+	DevexResets   int     `json:"devex_resets"`
+	WeightMin     float64 `json:"weight_min"`
+	WeightMax     float64 `json:"weight_max"`
+	SepScanNS     int64   `json:"sep_scan_ns"`
+	LPSolveNS     int64   `json:"lp_solve_ns"`
+	WallNS        int64   `json:"wall_ns"`
 }
 
 // BenchRecords runs the EngineStats workload (0.1·radius skew window,
-// both warm engines) on every named benchmark and returns one BenchRecord
-// per name, timings taken as the median of `repeats` runs (< 1 means 1).
+// the statEngines lineup: revised/devex, revised/most-violated, dense)
+// on every named benchmark and returns one BenchRecord per name, timings
+// taken as the median of `repeats` runs (< 1 means 1).
 func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 	if repeats < 1 {
 		repeats = 1
@@ -76,14 +86,14 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 			Sinks:   len(in.bench.Sinks),
 			Repeats: repeats,
 		}
-		for _, eng := range []string{"revised", "dense"} {
+		for _, eng := range statEngines {
 			run, err := in.runRepeated(base, l, u, eng, repeats)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, eng, err)
+				return nil, fmt.Errorf("%s/%s: %w", name, eng.Label, err)
 			}
 			res, st := run.res, run.res.Stats
 			rec.Engines = append(rec.Engines, EngineRecord{
-				Engine:             eng,
+				Engine:             eng.Label,
 				Cost:               res.Cost,
 				Rounds:             res.Rounds,
 				SteinerRows:        res.RowsUsed,
@@ -101,6 +111,10 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 				NumericalResidual:  st.NumericalResidual,
 				PivotMin:           st.PivotMin,
 				PivotMax:           st.PivotMax,
+				PricingScheme:      st.PricingScheme,
+				DevexResets:        st.DevexResets,
+				WeightMin:          st.WeightMin,
+				WeightMax:          st.WeightMax,
 				SepScanNS:          medianDuration(run.sep).Nanoseconds(),
 				LPSolveNS:          medianDuration(run.lp).Nanoseconds(),
 				WallNS:             medianDuration(run.wall).Nanoseconds(),
@@ -158,6 +172,39 @@ func ValidateBenchJSON(data []byte) error {
 		if e.Cost <= 0 {
 			return fmt.Errorf("bench json: engines[%d]: cost = %g", i, e.Cost)
 		}
+	}
+	return nil
+}
+
+// CheckPivotGate enforces the pricing regression gate behind ci.sh's
+// bench smoke: on a record that carries both the "revised" (Devex) and
+// "revised-mv" (most-violated) engine rows, the Devex pivot count must
+// not exceed the most-violated baseline — reference-norm pricing exists
+// to cut pivots on the degenerate-tie-heavy instances, so a regression
+// here means the weight update or reset contract broke. Records without
+// the ablation pair (e.g. hand-built ones) pass vacuously.
+func CheckPivotGate(rec BenchRecord) error {
+	var devex, mv *EngineRecord
+	for i := range rec.Engines {
+		switch rec.Engines[i].Engine {
+		case "revised":
+			devex = &rec.Engines[i]
+		case "revised-mv":
+			mv = &rec.Engines[i]
+		}
+	}
+	if devex == nil || mv == nil {
+		return nil
+	}
+	if devex.PricingScheme != "devex" {
+		return fmt.Errorf("pivot gate: %s: engine \"revised\" ran pricing %q, want devex", rec.Bench, devex.PricingScheme)
+	}
+	if mv.PricingScheme != "most-violated" {
+		return fmt.Errorf("pivot gate: %s: engine \"revised-mv\" ran pricing %q, want most-violated", rec.Bench, mv.PricingScheme)
+	}
+	if devex.Pivots > mv.Pivots {
+		return fmt.Errorf("pivot gate: %s: devex took %d pivots, most-violated baseline %d — Devex pricing regressed",
+			rec.Bench, devex.Pivots, mv.Pivots)
 	}
 	return nil
 }

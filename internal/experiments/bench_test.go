@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"testing"
+	"time"
 )
 
 // TestBenchRecordsRoundTrip runs the smallest benchmark once and checks
@@ -25,18 +26,35 @@ func TestBenchRecordsRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec := recs[0]
-	if len(rec.Engines) != 2 {
-		t.Fatalf("engines: %d, want revised+dense", len(rec.Engines))
+	if len(rec.Engines) != len(statEngines) {
+		t.Fatalf("engines: %d, want %d (revised, revised-mv, dense)", len(rec.Engines), len(statEngines))
 	}
-	// Both engines must agree on the optimum.
-	if a, b := rec.Engines[0].Cost, rec.Engines[1].Cost; a <= 0 || b <= 0 ||
-		a/b > 1.001 || b/a > 1.001 {
-		t.Errorf("engine costs disagree: %g vs %g", a, b)
+	// All engine rows must agree on the optimum.
+	for _, e := range rec.Engines[1:] {
+		a, b := rec.Engines[0].Cost, e.Cost
+		if a <= 0 || b <= 0 || a/b > 1.001 || b/a > 1.001 {
+			t.Errorf("engine costs disagree: %s %g vs %s %g",
+				rec.Engines[0].Engine, a, e.Engine, b)
+		}
 	}
 	for _, e := range rec.Engines {
 		if e.Pivots <= 0 || e.Rounds <= 0 || e.SteinerRows <= 0 {
 			t.Errorf("%s: empty counters: %+v", e.Engine, e)
 		}
+	}
+	// The revised rows must carry their pricing identity; dense has none.
+	schemes := map[string]string{}
+	for _, e := range rec.Engines {
+		schemes[e.Engine] = e.PricingScheme
+	}
+	if schemes["revised"] != "devex" || schemes["revised-mv"] != "most-violated" {
+		t.Errorf("pricing schemes: %v, want revised=devex revised-mv=most-violated", schemes)
+	}
+	if schemes["dense"] != "" {
+		t.Errorf("dense engine reports pricing %q, want empty", schemes["dense"])
+	}
+	if err := CheckPivotGate(rec); err != nil {
+		t.Errorf("pivot gate on prim1-s: %v", err)
 	}
 }
 
@@ -73,6 +91,7 @@ func TestBenchJSONSchema(t *testing.T) {
 		"refactorizations", "resets", "basis_size", "fill_in", "eta_len",
 		"tableau_rows", "lowered_tableau_rows", "ranged_rows", "row_nonzeros",
 		"numerical_residual", "pivot_min", "pivot_max",
+		"pricing_scheme", "devex_resets", "weight_min", "weight_max",
 		"sep_scan_ns", "lp_solve_ns", "wall_ns",
 	}
 	if len(engines[0]) != len(wantEng) {
@@ -137,5 +156,97 @@ func TestBenchJSONFile(t *testing.T) {
 	}
 	if err := ValidateBenchJSON(data); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBenchJSONPivotGate applies the Devex-vs-most-violated pivot gate
+// to an externally produced BENCH_*.json named by LUBT_BENCH_JSON
+// (skipped when unset). ci.sh runs it on the reference instances after
+// `lubtbench -json`, failing the smoke when Devex pricing pivots more
+// than the most-violated baseline.
+func TestBenchJSONPivotGate(t *testing.T) {
+	path := os.Getenv("LUBT_BENCH_JSON")
+	if path == "" {
+		t.Skip("LUBT_BENCH_JSON not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var rec BenchRecord
+	if err := dec.Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPivotGate(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckPivotGate exercises the gate's decision table on hand-built
+// records.
+func TestCheckPivotGate(t *testing.T) {
+	mk := func(devexPivots, mvPivots int) BenchRecord {
+		return BenchRecord{
+			Bench: "x",
+			Engines: []EngineRecord{
+				{Engine: "revised", PricingScheme: "devex", Pivots: devexPivots},
+				{Engine: "revised-mv", PricingScheme: "most-violated", Pivots: mvPivots},
+				{Engine: "dense"},
+			},
+		}
+	}
+	if err := CheckPivotGate(mk(10, 20)); err != nil {
+		t.Errorf("devex better: %v", err)
+	}
+	if err := CheckPivotGate(mk(20, 20)); err != nil {
+		t.Errorf("tie must pass: %v", err)
+	}
+	if err := CheckPivotGate(mk(21, 20)); err == nil {
+		t.Error("devex regression accepted")
+	}
+	// Missing ablation pair → vacuous pass.
+	if err := CheckPivotGate(BenchRecord{Engines: []EngineRecord{{Engine: "dense"}}}); err != nil {
+		t.Errorf("no pair: %v", err)
+	}
+	// A mislabeled pricing scheme must be caught, not silently compared.
+	bad := mk(10, 20)
+	bad.Engines[0].PricingScheme = "most-violated"
+	if err := CheckPivotGate(bad); err == nil {
+		t.Error("mislabeled devex row accepted")
+	}
+}
+
+// TestMedianDuration pins medianDuration's contract: empty → 0, one
+// sample → itself, odd → middle, even → lower middle; input order is
+// irrelevant and the input slice is not mutated.
+func TestMedianDuration(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []time.Duration
+		want time.Duration
+	}{
+		{"empty", nil, 0},
+		{"empty non-nil", []time.Duration{}, 0},
+		{"one", []time.Duration{7}, 7},
+		{"two takes lower", []time.Duration{10, 20}, 10},
+		{"two unsorted", []time.Duration{20, 10}, 10},
+		{"three", []time.Duration{30, 10, 20}, 20},
+		{"four takes lower middle", []time.Duration{40, 10, 30, 20}, 20},
+		{"six bimodal reports a sample", []time.Duration{1, 1, 2, 100, 100, 100}, 2},
+		{"duplicates", []time.Duration{5, 5, 5, 5}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := append([]time.Duration(nil), tc.in...)
+			if got := medianDuration(tc.in); got != tc.want {
+				t.Errorf("medianDuration(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range orig {
+				if tc.in[i] != orig[i] {
+					t.Fatalf("input mutated: %v, was %v", tc.in, orig)
+				}
+			}
+		})
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -82,11 +83,31 @@ func (in *instance) runLUBTOpts(base *bst.Result, l, u float64, opt *core.Option
 	return core.Solve(ci, cb, opt)
 }
 
-// EngineStats solves every benchmark with both warm LP engines — the
-// sparse revised dual simplex (the default) and the dense-tableau
-// ablation engine — at a representative 0.1·radius skew window, and
-// tabulates the lp.Stats spine side by side. It backs `lubtbench -stats`
-// and runs each solve DefaultRepeats times, reporting median timings.
+// engineSpec is one (engine, pricing) combination the stats/bench
+// harness exercises; Label is the row key that reaches the tables and
+// the lubt-bench/1 JSON.
+type engineSpec struct {
+	Label   string
+	Engine  string
+	Pricing string
+}
+
+// statEngines are the engine rows of `lubtbench -stats` / `-json`:
+// the revised dual simplex under its default Devex pricing, the same
+// engine under the classic most-violated rule (the pricing ablation
+// pair the ci.sh pivot gate compares), and the dense-tableau engine.
+var statEngines = []engineSpec{
+	{Label: "revised", Engine: "revised", Pricing: "devex"},
+	{Label: "revised-mv", Engine: "revised", Pricing: "mostviolated"},
+	{Label: "dense", Engine: "dense"},
+}
+
+// EngineStats solves every benchmark with the warm LP engine lineup —
+// the sparse revised dual simplex under Devex and most-violated pricing,
+// plus the dense-tableau ablation engine — at a representative
+// 0.1·radius skew window, and tabulates the lp.Stats spine side by side.
+// It backs `lubtbench -stats` and runs each solve DefaultRepeats times,
+// reporting median timings.
 func EngineStats(names []string) (*table.Table, error) {
 	return EngineStatsN(names, DefaultRepeats)
 }
@@ -98,7 +119,7 @@ func EngineStats(names []string) (*table.Table, error) {
 // run. repeats < 1 means 1.
 func EngineStatsN(names []string, repeats int) (*table.Table, error) {
 	t := table.New("LP engine statistics (skew window 0.1·radius, median timings)",
-		"bench", "engine", "rounds", "steiner", "pivots", "flips", "refactor",
+		"bench", "engine", "pricing", "rounds", "steiner", "pivots", "flips", "refactor",
 		"basis", "fill-in", "rows", "lowered", "nnz", "sep-scan", "lp-solve", "wall")
 	for _, name := range names {
 		in, err := load(name)
@@ -110,13 +131,17 @@ func EngineStatsN(names []string, repeats int) (*table.Table, error) {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		l, u := windowFor(base, in.radius, 0.1)
-		for _, eng := range []string{"revised", "dense"} {
+		for _, eng := range statEngines {
 			run, err := in.runRepeated(base, l, u, eng, repeats)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", name, eng, err)
+				return nil, fmt.Errorf("%s/%s: %w", name, eng.Label, err)
 			}
 			res, st := run.res, run.res.Stats
-			t.Addf(name, eng, res.Rounds, res.RowsUsed, st.Pivots,
+			pricing := st.PricingScheme
+			if pricing == "" {
+				pricing = "-"
+			}
+			t.Addf(name, eng.Label, pricing, res.Rounds, res.RowsUsed, st.Pivots,
 				st.BoundFlips, st.Refactorizations, st.BasisSize, st.FillIn,
 				st.TableauRows, st.LoweredTableauRows, st.RowNonzeros,
 				medianDuration(run.sep).Round(time.Microsecond).String(),
@@ -139,15 +164,16 @@ type repeatedRun struct {
 }
 
 // runRepeated solves the instance `repeats` times with the given warm
-// engine and collects wall/separation/solve timings per run.
-func (in *instance) runRepeated(base *bst.Result, l, u float64, engine string, repeats int) (*repeatedRun, error) {
+// engine/pricing combination and collects wall/separation/solve timings
+// per run.
+func (in *instance) runRepeated(base *bst.Result, l, u float64, eng engineSpec, repeats int) (*repeatedRun, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
 	run := &repeatedRun{}
 	for r := 0; r < repeats; r++ {
 		t0 := time.Now()
-		res, err := in.runLUBTOpts(base, l, u, &core.Options{Engine: engine})
+		res, err := in.runLUBTOpts(base, l, u, &core.Options{Engine: eng.Engine, Pricing: eng.Pricing})
 		wall := time.Since(t0)
 		if err != nil {
 			return nil, err
@@ -162,14 +188,22 @@ func (in *instance) runRepeated(base *bst.Result, l, u float64, engine string, r
 	return run, nil
 }
 
-// medianDuration returns the middle sample (lower middle for even
-// counts); 0 for an empty slice.
+// medianDuration returns the median timing sample without mutating d.
+// The contract, pinned by TestMedianDuration:
+//
+//   - empty input → 0 (a "no samples" sentinel, not a timing),
+//   - one sample → that sample,
+//   - odd count → the middle element of the sorted samples,
+//   - even count → the LOWER of the two middle elements. The median is
+//     always an observed run, never an interpolated mean — a bimodal
+//     timing distribution reports a real sample from the faster mode
+//     rather than a synthetic value between the modes.
 func medianDuration(d []time.Duration) time.Duration {
 	if len(d) == 0 {
 		return 0
 	}
 	s := append([]time.Duration(nil), d...)
-	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	slices.Sort(s)
 	return s[(len(s)-1)/2]
 }
 

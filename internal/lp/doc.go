@@ -61,6 +61,32 @@
 // enters. See DESIGN.md's "Bounded-variable formulation" section for the
 // constraint-kind → row/box mapping table.
 //
+// # Dual pricing (leaving-row rules)
+//
+// Revised selects the leaving row with one of three pricing rules
+// (Revised.SetPricing, parsed from CLI tokens by ParsePricing; the
+// choice must be made before the first Solve):
+//
+//   - PricingDevex (default, "devex"): dual Devex — each basic position
+//     carries a reference weight γ ≥ 1, the leaving row maximizes
+//     violation²/γ, and weights are updated per pivot from the entering
+//     column against the PRE-pivot basis. The reference framework
+//     re-anchors to all-ones at every refactorization and basis reset,
+//     and on overflow past 1e12 (counted in Stats().DevexResets — only
+//     overflow restarts, scheduled re-anchors are Refactorizations).
+//   - PricingMostViolated ("mostviolated"): the textbook rule — largest
+//     primal violation wins. Cheapest per pivot; ablation baseline.
+//   - PricingSteepestExact ("steepest"): exact dual steepest edge
+//     (Forrest–Goldfarb), true norms ‖B⁻ᵀe_p‖² maintained with one extra
+//     FTRAN per pivot. Weights survive refactorization (basis unchanged)
+//     and reset only at the all-slack basis (B = I ⇒ norms exactly 1);
+//     warm-bordered rows seed their position lazily with one BTRAN.
+//
+// All rules break ties by lowest row index and change only the pivot
+// path, never the optimum: Stats().PricingScheme labels the rule, and
+// WeightMin/WeightMax gauge the reference weights. Pivot budget per
+// Solve is 20000 + 200·(rows + vars).
+//
 // # Sparse storage invariants (CSR/CSC)
 //
 // The incremental engines share the rowStore, an append-only CSR row

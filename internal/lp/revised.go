@@ -3,11 +3,79 @@ package lp
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"lubt/internal/linalg"
 	"lubt/internal/obs"
 )
+
+// Pricing selects the leaving-row rule of the revised dual simplex: how
+// Solve picks which primal-infeasible basic variable leaves the basis
+// each pivot. All schemes reach the same optimum; they differ in pivot
+// count on degenerate-tie-heavy instances (many equal violations, e.g.
+// the ranged delay-window rows of large clock trees).
+type Pricing int
+
+const (
+	// PricingDevex (the default) maintains approximate dual
+	// steepest-edge reference weights γ_p per basic row and selects the
+	// leaving row by max violation²/γ_p. The weights are updated on
+	// every pivot from quantities the pivot already computes (the FTRAN
+	// column w and the pivot element w[r]) and the reference framework
+	// is reset to the current basis at every refactorization or basis
+	// reset — so the scheme costs O(nnz(w)) extra per pivot.
+	PricingDevex Pricing = iota
+	// PricingMostViolated is the classic rule: leave the basic variable
+	// furthest outside its box, ties broken by basis position. Kept as
+	// the ablation baseline; prone to degenerate ties on r4/r5-sized
+	// instances.
+	PricingMostViolated
+	// PricingSteepestExact maintains exact dual steepest-edge norms
+	// β_p = ‖B⁻ᵀe_p‖² via the Forrest–Goldfarb update, which needs one
+	// extra FTRAN (of the pricing row ρ) per pivot plus one BTRAN per
+	// warm-added row to seed the new row's norm. It is the
+	// cross-checking oracle for the Devex approximation, not a
+	// production default.
+	PricingSteepestExact
+)
+
+// String returns the scheme's stable token ("devex", "most-violated",
+// "steepest-exact"), used in Stats.PricingScheme and the bench JSON.
+func (p Pricing) String() string {
+	switch p {
+	case PricingDevex:
+		return "devex"
+	case PricingMostViolated:
+		return "most-violated"
+	case PricingSteepestExact:
+		return "steepest-exact"
+	}
+	return "unknown"
+}
+
+// ParsePricing maps a flag token to a Pricing scheme. Accepted spellings:
+// "" or "devex"; "mostviolated", "most-violated" or "mv"; "steepest",
+// "steepest-exact", "steepestexact" or "se".
+func ParsePricing(s string) (Pricing, error) {
+	switch s {
+	case "", "devex":
+		return PricingDevex, nil
+	case "mostviolated", "most-violated", "mv":
+		return PricingMostViolated, nil
+	case "steepest", "steepest-exact", "steepestexact", "se":
+		return PricingSteepestExact, nil
+	}
+	return 0, fmt.Errorf("lp: unknown pricing scheme %q (want devex, mostviolated or steepest)", s)
+}
+
+// devexWeightCap bounds the Devex reference weights: when the largest
+// weight exceeds it the reference framework has drifted too far from the
+// current basis and is reset (counted in Stats.DevexResets).
+const devexWeightCap = 1e12
+
+// weightFloor keeps reference weights strictly positive against roundoff
+// in the exact steepest-edge update.
+const weightFloor = 1e-12
 
 // Revised is a sparse revised dual-simplex engine for cutting planes: the
 // default realization of the §4.6 row-generation loop. Like the dense
@@ -84,6 +152,24 @@ type Revised struct {
 	xbPrev  []float64   // eta-replayed xB snapshot for the residual gauge
 	cands   []ratioCand // two-sided ratio-test candidates
 	refEach int         // pivots between refactorizations
+
+	// Leaving-row pricing state. gamma[p] is the reference weight of basis
+	// position p: the Devex approximation of ‖B⁻ᵀe_p‖² relative to the
+	// reference framework, or the exact norm for PricingSteepestExact.
+	// Devex resets gamma to all-1 at every refactorization/reset and on
+	// overflow past devexWeightCap; steepest-exact keeps its weights across
+	// refactorization (the basis is unchanged, so they stay exact) and
+	// recomputes only at a basis reset.
+	pricing     Pricing
+	gamma       []float64
+	devexResets int
+
+	// Per-Solve pivot-loop scratch, reused across calls.
+	rhoBuf, wBuf    []float64
+	flipRowBuf      []float64
+	flipZBuf        []float64
+	tauBuf          []float64 // steepest-exact: τ = B⁻¹ρ_r
+	maxIterOverride int       // test hook: when > 0, replaces the pivot budget
 
 	tr *obs.Tracer // span tracer; nil (the default) records nothing
 
@@ -203,6 +289,20 @@ func (rv *Revised) Stats() Stats {
 	s.BoundFlips = rv.boundFlips
 	s.RowNonzeros = rv.rows.nnz()
 	s.ResetReasons = append([]string(nil), rv.stats.ResetReasons...)
+	s.PricingScheme = rv.pricing.String()
+	s.DevexResets = rv.devexResets
+	if n := rv.rows.numRows(); n > 0 && len(rv.gamma) >= n && rv.pricing != PricingMostViolated {
+		mn, mx := rv.gamma[0], rv.gamma[0]
+		for _, g := range rv.gamma[1:n] {
+			if g < mn {
+				mn = g
+			}
+			if g > mx {
+				mx = g
+			}
+		}
+		s.WeightMin, s.WeightMax = mn, mx
+	}
 	s.GaugesValid = true
 	return s
 }
@@ -212,6 +312,147 @@ func (rv *Revised) Stats() Stats {
 // fill-in, eta-file length, replay residual, reset reason). A nil tracer
 // (the default) records nothing at zero cost.
 func (rv *Revised) SetTracer(tr *obs.Tracer) { rv.tr = tr }
+
+// SetPricing selects the leaving-row rule (see Pricing). Like
+// SetVarBounds it is construction-time state: calling it after the first
+// Solve panics, because the reference weights would not match the pivots
+// already taken.
+func (rv *Revised) SetPricing(p Pricing) {
+	if rv.solved {
+		panic("lp: SetPricing after the first Solve")
+	}
+	rv.pricing = p
+	rv.gamma = rv.gamma[:0]
+}
+
+// grow returns (*buf)[:n], reallocating the backing array only when the
+// capacity is insufficient; the returned slice is NOT cleared.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n+n/2+8)
+	}
+	return (*buf)[:n]
+}
+
+// resetWeights restarts the pricing reference framework at the current
+// basis: every basis position gets weight 1. For Devex this happens at
+// every refactorization and basis reset (the framework is *defined*
+// relative to the current basis); for steepest-exact only at a basis
+// reset, where the all-slack basis makes ‖B⁻ᵀe_p‖² = 1 exact.
+func (rv *Revised) resetWeights(m int) {
+	if rv.pricing == PricingMostViolated {
+		return
+	}
+	rv.gamma = grow(&rv.gamma, m)
+	for p := range rv.gamma {
+		rv.gamma[p] = 1
+	}
+}
+
+// ensureWeights extends gamma to m entries after rows were warm-added
+// with a bordered basis extension. A Devex weight starts at the reference
+// value 1. A steepest-exact weight must be the true ‖B⁻ᵀe_p‖² of the new
+// position: the bordered extension [B₀ 0; aᵀ 1] leaves the B⁻ᵀ rows of
+// the old positions unchanged, so only the new positions need one BTRAN
+// each to seed their exact norm.
+func (rv *Revised) ensureWeights(m int) {
+	if rv.pricing == PricingMostViolated {
+		return
+	}
+	if len(rv.gamma) > m {
+		rv.gamma = rv.gamma[:m]
+		return
+	}
+	for p := len(rv.gamma); p < m; p++ {
+		g := 1.0
+		if rv.pricing == PricingSteepestExact {
+			rho := grow(&rv.rhoBuf, m)
+			rv.btranPos(p, rho)
+			s := 0.0
+			for k := 0; k < m; k++ {
+				s += rho[k] * rho[k]
+			}
+			g = math.Max(s, weightFloor)
+		}
+		rv.gamma = append(rv.gamma, g)
+	}
+}
+
+// updateWeights applies the per-pivot reference-weight update for leaving
+// position r with FTRAN column w (pivot element a = w[r]) and pricing row
+// rho = B⁻ᵀe_r. Devex (Forrest–Goldfarb's approximate rule):
+//
+//	γ_r ← max(γ_r/a², 1)
+//	γ_p ← max(γ_p, (w_p/a)²·γ_r_old)   for p ≠ r, w_p ≠ 0
+//
+// Exact steepest edge (Forrest–Goldfarb, with τ = B⁻¹ρ_r — one extra
+// FTRAN per pivot):
+//
+//	β_p ← β_p − 2(w_p/a)τ_p + (w_p/a)²·β_r_old   for p ≠ r
+//	β_r ← β_r_old/a²
+//
+// Both are applied BEFORE the basis bookkeeping, i.e. to the pre-pivot
+// weights. When the largest Devex weight outruns devexWeightCap the
+// reference framework is restarted (counted in Stats.DevexResets).
+func (rv *Revised) updateWeights(r int, w, rho []float64, m int) {
+	if rv.pricing == PricingMostViolated {
+		return
+	}
+	a := w[r]
+	gr := rv.gamma[r]
+	inv2 := 1 / (a * a)
+	switch rv.pricing {
+	case PricingDevex:
+		maxG := 0.0
+		for p := 0; p < m; p++ {
+			if p == r || w[p] == 0 {
+				continue
+			}
+			if g := w[p] * w[p] * inv2 * gr; g > rv.gamma[p] {
+				rv.gamma[p] = g
+			}
+			if rv.gamma[p] > maxG {
+				maxG = rv.gamma[p]
+			}
+		}
+		rv.gamma[r] = math.Max(gr*inv2, 1)
+		if rv.gamma[r] > maxG {
+			maxG = rv.gamma[r]
+		}
+		if maxG > devexWeightCap {
+			// The reference framework has drifted too far from the current
+			// basis for the approximation to steer usefully: restart it here
+			// rather than waiting for the next refactorization. Counted in
+			// Stats.DevexResets (scheduled re-anchors are not — those are
+			// already visible as Refactorizations).
+			rv.devexResets++
+			rv.resetWeights(m)
+		}
+	case PricingSteepestExact:
+		tau := grow(&rv.tauBuf, m)
+		rv.ftran(rho, tau)
+		for p := 0; p < m; p++ {
+			if p == r || w[p] == 0 {
+				continue
+			}
+			t := w[p] / a
+			g := rv.gamma[p] - 2*t*tau[p] + t*t*gr
+			rv.gamma[p] = math.Max(g, weightFloor)
+		}
+		rv.gamma[r] = math.Max(gr*inv2, weightFloor)
+	}
+}
+
+// pivotBudget is the Solve pivot cap: a generous constant plus a linear
+// term in the problem size m + nVars. (An earlier version double-counted
+// m here.) The unexported maxIterOverride lets tests exercise the
+// IterLimit path without 20k pivots.
+func (rv *Revised) pivotBudget(m int) int {
+	if rv.maxIterOverride > 0 {
+		return rv.maxIterOverride
+	}
+	return 20000 + 200*(m+rv.nVars)
+}
 
 // AddRow introduces the constraint Σ terms {op} rhs. A GE row is negated
 // into ≤ form; an EQ row becomes ONE row whose slack is fixed at zero (no
@@ -398,6 +639,9 @@ func (rv *Revised) reset(reason string) {
 	rv.stats.ResetReasons = append(rv.stats.ResetReasons, reason)
 	rv.stats.BasisSize = 0
 	rv.stats.EtaLen = 0
+	// All-slack basis ⇒ B = I, so the all-1 framework is exact for every
+	// pricing scheme (including steepest-exact).
+	rv.resetWeights(m)
 	sp := rv.tr.Start("reset")
 	sp.SetString("reason", reason)
 	sp.End()
@@ -574,6 +818,13 @@ func (rv *Revised) refactorize() bool {
 		rv.reset("dual-drift")
 		return false
 	}
+	if rv.pricing == PricingDevex {
+		// The Devex reference framework is defined relative to the basis at
+		// the last reset point; refactorization is where the framework is
+		// re-anchored to the current basis (the exact scheme keeps its
+		// weights — the basis did not change, so they are still exact).
+		rv.resetWeights(m)
+	}
 	return true
 }
 
@@ -722,27 +973,49 @@ func (rv *Revised) Solve() (*Solution, error) {
 		rv.refactorize()
 	}
 	feasTol := rv.feasTol()
-	maxIter := 20000 + 200*(m+rv.nVars+m)
-	rho := make([]float64, m)
-	w := make([]float64, m)
-	flipRow := make([]float64, m)
-	flipZ := make([]float64, m)
+	maxIter := rv.pivotBudget(m)
+	rho := grow(&rv.rhoBuf, m)
+	w := grow(&rv.wBuf, m)
+	flipRow := grow(&rv.flipRowBuf, m)
+	flipZ := grow(&rv.flipZBuf, m)
+	rv.ensureWeights(m)
 	resets := 0
 	const aTol = 1e-9
 	for iter := 0; ; iter++ {
 		if iter >= maxIter {
 			return &Solution{Status: IterLimit, Iterations: rv.iterations}, nil
 		}
-		// Leaving position: the basic variable furthest outside its box,
-		// on either side.
+		// Leaving position. PricingMostViolated takes the basic variable
+		// furthest outside its box; the reference-weight schemes score each
+		// violation d by d²/γ_p, steering away from rows whose B⁻ᵀ row has
+		// grown long (the degenerate-tie cure — see the Pricing docs). In
+		// either case `worst` holds the selected row's actual violation,
+		// which the bound-flipping walk below consumes.
 		r, worst, above := -1, feasTol, false
-		for p := 0; p < m; p++ {
-			lo, hi := rv.boxOf(rv.basisVar[p])
-			if d := lo - rv.xB[p]; d > worst {
-				r, worst, above = p, d, false
+		if rv.pricing == PricingMostViolated {
+			for p := 0; p < m; p++ {
+				lo, hi := rv.boxOf(rv.basisVar[p])
+				if d := lo - rv.xB[p]; d > worst {
+					r, worst, above = p, d, false
+				}
+				if d := rv.xB[p] - hi; d > worst {
+					r, worst, above = p, d, true
+				}
 			}
-			if d := rv.xB[p] - hi; d > worst {
-				r, worst, above = p, d, true
+		} else {
+			best := 0.0
+			for p := 0; p < m; p++ {
+				lo, hi := rv.boxOf(rv.basisVar[p])
+				if d := lo - rv.xB[p]; d > feasTol {
+					if s := d * d / rv.gamma[p]; s > best {
+						r, worst, above, best = p, d, false, s
+					}
+				}
+				if d := rv.xB[p] - hi; d > feasTol {
+					if s := d * d / rv.gamma[p]; s > best {
+						r, worst, above, best = p, d, true, s
+					}
+				}
 			}
 		}
 		if r < 0 {
@@ -830,13 +1103,16 @@ func (rv *Revised) Solve() (*Solution, error) {
 			}
 			cands = append(cands, ratioCand{rv.nVars + k, a, d / math.Abs(a), width})
 		}
-		rv.cands = cands
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].ratio != cands[b].ratio {
-				return cands[a].ratio < cands[b].ratio
+		slices.SortFunc(cands, func(a, b ratioCand) int {
+			switch {
+			case a.ratio < b.ratio:
+				return -1
+			case a.ratio > b.ratio:
+				return 1
 			}
-			return cands[a].id < cands[b].id
+			return a.id - b.id
 		})
+		rv.cands = cands // keep the (possibly regrown) buffer for the next pivot
 		// Bound-flipping walk: a candidate whose full box traversal cannot
 		// absorb the remaining infeasibility is flipped to its other bound
 		// (its reduced cost crosses zero below the final dual step, so the
@@ -942,6 +1218,10 @@ func (rv *Revised) Solve() (*Solution, error) {
 				rv.stats.PivotMin = aw
 			}
 		}
+		// Reference-weight update — must see the PRE-pivot basis (the
+		// steepest-exact FTRAN of ρ goes through the eta file before this
+		// pivot's eta is appended).
+		rv.updateWeights(r, w, rho, m)
 		var dEnter float64
 		if enter < rv.nVars {
 			dEnter = rv.dS[enter]
@@ -1025,14 +1305,27 @@ func (rv *Revised) Solve() (*Solution, error) {
 			rv.posOfSlack[enter-rv.nVars] = int32(r)
 			rv.dK[enter-rv.nVars] = 0
 		}
-		et := eta{pos: r, diag: w[r]}
+		// Record the eta, reusing a retired entry's idx/val backing arrays
+		// when the eta file was truncated by an earlier refactorization (the
+		// file never outgrows refEach entries in steady state, so after
+		// warm-up this append allocates nothing).
+		var et *eta
+		if n := len(rv.etas); n < cap(rv.etas) {
+			rv.etas = rv.etas[:n+1]
+			et = &rv.etas[n]
+			et.idx = et.idx[:0]
+			et.val = et.val[:0]
+		} else {
+			rv.etas = append(rv.etas, eta{})
+			et = &rv.etas[len(rv.etas)-1]
+		}
+		et.pos, et.diag = r, w[r]
 		for p := 0; p < m; p++ {
 			if p != r && math.Abs(w[p]) > 1e-13 {
 				et.idx = append(et.idx, int32(p))
 				et.val = append(et.val, w[p])
 			}
 		}
-		rv.etas = append(rv.etas, et)
 		rv.iterations++
 		rv.justRefactored = false
 		if len(rv.etas) >= rv.refEach {

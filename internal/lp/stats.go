@@ -68,6 +68,19 @@ type Stats struct {
 	// test (flips are not pivots: they cost one shared FTRAN per batch).
 	RangedRows int
 	BoundFlips int
+	// PricingScheme is the leaving-row rule the revised engine ran with
+	// ("devex", "most-violated" or "steepest-exact"; empty on the other
+	// engines). DevexResets counts Devex reference-framework restarts
+	// forced by weight overflow past the cap — scheduled re-anchors at
+	// refactorization are NOT counted here (they track Refactorizations).
+	PricingScheme string
+	DevexResets   int
+	// WeightMin and WeightMax are the reference-weight extremes γ_min/γ_max
+	// over the basis at the last Stats snapshot (both 0 under
+	// PricingMostViolated). A very large WeightMax flags a basis whose B⁻ᵀ
+	// rows have grown long — the same signal that triggers DevexResets.
+	// They are gauges: Merge replaces them under GaugesValid.
+	WeightMin, WeightMax float64
 	// GaugesValid marks the gauge fields (BasisSize, FillIn, EtaLen,
 	// NumericalResidual and the row counts) as explicitly sampled by an
 	// engine. Merge then takes other's gauge values unconditionally — a
@@ -101,6 +114,10 @@ func (s *Stats) Merge(other Stats) {
 	s.Refactorizations += other.Refactorizations
 	s.Resets += other.Resets
 	s.BoundFlips += other.BoundFlips
+	s.DevexResets += other.DevexResets
+	if other.PricingScheme != "" {
+		s.PricingScheme = other.PricingScheme
+	}
 	s.Rounds += other.Rounds
 	s.SeparationTime += other.SeparationTime
 	s.SolveTime += other.SolveTime
@@ -122,6 +139,8 @@ func (s *Stats) Merge(other Stats) {
 		s.LoweredTableauRows = other.LoweredTableauRows
 		s.RangedRows = other.RangedRows
 		s.RowNonzeros = other.RowNonzeros
+		s.WeightMin = other.WeightMin
+		s.WeightMax = other.WeightMax
 		s.GaugesValid = true
 		return
 	}
@@ -152,6 +171,10 @@ func (s *Stats) Merge(other Stats) {
 	if other.RowNonzeros > 0 {
 		s.RowNonzeros = other.RowNonzeros
 	}
+	if other.WeightMax > 0 {
+		s.WeightMin = other.WeightMin
+		s.WeightMax = other.WeightMax
+	}
 }
 
 // String renders a compact one-stop summary (used by cmd/lubt --stats).
@@ -163,6 +186,10 @@ func (s Stats) String() string {
 		s.LogicalRows, s.TableauRows, s.LoweredTableauRows, s.RangedRows, s.RowNonzeros, s.Rounds)
 	fmt.Fprintf(&b, "eta-len %d  residual %.3g  pivot-el [%.3g, %.3g]\n",
 		s.EtaLen, s.NumericalResidual, s.PivotMin, s.PivotMax)
+	if s.PricingScheme != "" {
+		fmt.Fprintf(&b, "pricing %s  devex-resets %d  weights [%.3g, %.3g]\n",
+			s.PricingScheme, s.DevexResets, s.WeightMin, s.WeightMax)
+	}
 	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
 	if len(s.ResetReasons) > 0 {
 		fmt.Fprintf(&b, "\nreset-reasons %v", s.ResetReasons)

@@ -99,6 +99,12 @@ type Options struct {
 	// scratch each round) or "ipm" (the interior-point method, the solver
 	// family the paper used via LOQO).
 	Solver string
+	// Pricing selects the leaving-row rule of the revised dual-simplex
+	// engine: "" or "devex" (the default, reference-weight pricing),
+	// "mostviolated" (the classic rule, kept as the ablation baseline) or
+	// "steepest" (exact steepest edge, the Devex cross-check). Only valid
+	// with Solver "" / "simplex"; any other solver rejects it.
+	Pricing string
 	// Weights holds per-edge objective weights (§7), indexed by edge
 	// (child node id); nil means unit weights.
 	Weights []float64
@@ -301,6 +307,7 @@ func (in *Instance) Solve(b Bounds, opt *Options) (*Tree, error) {
 	if opt != nil {
 		copts.FullMatrix = opt.FullMatrix
 		copts.OracleWorkers = opt.OracleWorkers
+		copts.Pricing = opt.Pricing
 		if opt.Weights != nil {
 			copts.Weights = opt.Weights
 		}

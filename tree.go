@@ -81,6 +81,14 @@ type SolveStats struct {
 	// boxed dual ratio test (cheaper than pivots: one shared FTRAN per
 	// batch).
 	BoundFlips int
+	// PricingScheme names the leaving-row rule the revised engine ran
+	// with ("devex", "most-violated", "steepest-exact"; empty for the
+	// other solvers). DevexResets counts Devex reference-framework
+	// restarts forced by weight overflow; WeightMin/WeightMax bracket the
+	// reference weights at the end of the solve (0 under most-violated).
+	PricingScheme        string
+	DevexResets          int
+	WeightMin, WeightMax float64
 	// EtaLen is the eta-file length consumed by the engine's last
 	// refactorization; NumericalResidual is the terminal numerical-health
 	// gauge (eta-replay drift for the revised engine, final scaled KKT
@@ -114,6 +122,10 @@ func (s SolveStats) String() string {
 		s.Refactorizations, s.BasisSize, s.FillIn, s.Resets, s.BoundFlips)
 	fmt.Fprintf(&b, "eta-len %d  residual %.3g  pivot-el [%.3g, %.3g]\n",
 		s.EtaLen, s.NumericalResidual, s.PivotMin, s.PivotMax)
+	if s.PricingScheme != "" {
+		fmt.Fprintf(&b, "pricing %s  devex-resets %d  weights [%.3g, %.3g]\n",
+			s.PricingScheme, s.DevexResets, s.WeightMin, s.WeightMax)
+	}
 	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
 	if len(s.ResetReasons) > 0 {
 		fmt.Fprintf(&b, "\nreset-reasons %v", s.ResetReasons)
@@ -150,6 +162,10 @@ func solveStatsFromLP(st lp.Stats) SolveStats {
 		RangedRows:         st.RangedRows,
 		RowNonzeros:        st.RowNonzeros,
 		BoundFlips:         st.BoundFlips,
+		PricingScheme:      st.PricingScheme,
+		DevexResets:        st.DevexResets,
+		WeightMin:          st.WeightMin,
+		WeightMax:          st.WeightMax,
 		EtaLen:             st.EtaLen,
 		NumericalResidual:  st.NumericalResidual,
 		PivotMin:           st.PivotMin,
