@@ -38,12 +38,15 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== bench smoke (lubt-bench/1 JSON + pricing pivot gate)"
+echo "== bench smoke (lubt-bench/1 JSON + pricing pivot gate + ECO gate)"
 # Each reference bench is run through `lubtbench -json` (the
-# revised/devex, revised/most-violated, dense lineup), then the emitted
-# record is schema-validated (TestBenchJSONFile) and passed through the
-# pricing regression gate (TestBenchJSONPivotGate): Devex must not take
-# more dual pivots than the most-violated baseline. r4-s is the
+# revised/devex, revised/most-violated, dense lineup plus the single-sink
+# ECO probe on the revised row), then the emitted record is
+# schema-validated (TestBenchJSONFile) and passed through the pricing
+# regression gate (TestBenchJSONPivotGate): Devex must not take more dual
+# pivots than the most-violated baseline — and the warm-restart gate
+# (TestBenchJSONEcoGate): re-solving after a single-sink retighten must
+# take fewer than 25% of the cold solve's pivots. r4-s is the
 # degenerate-tie-heavy instance where the schemes actually separate.
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -58,7 +61,7 @@ for bench in prim1-s r4-s; do
 		echo "ci: $bench_json missing lubt-bench/1 schema marker" >&2
 		exit 1
 	fi
-	LUBT_BENCH_JSON="$bench_json" go test -run 'TestBenchJSONFile|TestBenchJSONPivotGate' ./internal/experiments
+	LUBT_BENCH_JSON="$bench_json" go test -run 'TestBenchJSONFile|TestBenchJSONPivotGate|TestBenchJSONEcoGate' ./internal/experiments
 done
 
 echo "ci: ok"

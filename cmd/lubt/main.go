@@ -7,7 +7,13 @@
 //	lubt -in sinks.txt -lower 0.8 -upper 1.2 [-skew-topology 0.4]
 //	     [-normalized] [-use-source] [-solver simplex|ipm]
 //	     [-pricing devex|mostviolated|steepest] [-svg out.svg]
-//	     [-stats] [-trace trace.json]
+//	     [-stats] [-trace trace.json] [-eco]
+//
+// With -eco the solve is held open as an ECO session: after reporting the
+// tree, sink 1's lower bound is retightened past its routed delay and the
+// engine re-solves warm from the kept basis, printing the warm pivot
+// count against the cold solve's. -eco composes with -pricing: the warm
+// re-solve inherits the selected dual pricing rule.
 //
 // The input format is the one emitted by gensinks: one "x y" pair per
 // line, optional "source x y" line, "#" comments. With -normalized,
@@ -22,6 +28,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"lubt"
 	"lubt/internal/wkld"
@@ -42,13 +49,14 @@ func main() {
 		boundsPath = flag.String("bounds", "", "per-sink bounds file (one \"l u\" line per sink, overrides -lower/-upper)")
 		stats      = flag.Bool("stats", false, "print LP engine statistics (pivots, rounds, fill-in, timings)")
 		tracePath  = flag.String("trace", "", "write the solve span tree as JSON (schema lubt-trace/1) to this file")
+		eco        = flag.Bool("eco", false, "ECO demo: retighten sink 1's window after solving and warm re-solve in place")
 	)
 	flag.Parse()
 	cfg := runConfig{
 		inPath: *inPath, lower: *lower, upper: *upper,
 		normalized: *normalized, useSource: *useSource, skewTopo: *skewTopo,
 		solver: *solver, pricing: *pricing, svgPath: *svgPath, jsonPath: *jsonPath,
-		boundsPath: *boundsPath, showStats: *stats, tracePath: *tracePath,
+		boundsPath: *boundsPath, showStats: *stats, tracePath: *tracePath, eco: *eco,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lubt:", err)
@@ -68,6 +76,7 @@ type runConfig struct {
 	boundsPath            string
 	showStats             bool
 	tracePath             string
+	eco                   bool
 }
 
 func run(cfg runConfig) error {
@@ -136,9 +145,19 @@ func run(cfg runConfig) error {
 		defer traceFile.Close()
 		opts.TraceJSON = traceFile
 	}
-	tree, err := inst.Solve(bounds, opts)
-	if err != nil {
-		return err
+	var tree *lubt.Tree
+	var solved *lubt.Solved
+	if cfg.eco {
+		solved, err = inst.SolveECO(bounds, opts)
+		if err != nil {
+			return err
+		}
+		tree = solved.Tree()
+	} else {
+		tree, err = inst.Solve(bounds, opts)
+		if err != nil {
+			return err
+		}
 	}
 	if err := tree.Verify(); err != nil {
 		return fmt.Errorf("result failed verification: %w", err)
@@ -149,6 +168,35 @@ func run(cfg runConfig) error {
 	fmt.Printf("cost       %.2f\n", tree.Cost)
 	fmt.Printf("delays     [%.2f, %.2f]  skew %.2f\n", tree.MinDelay, tree.MaxDelay, tree.Skew)
 	fmt.Printf("elongation %.2f\n", tree.TotalElongation())
+	if cfg.eco {
+		// Retighten sink 1 past its routed delay and re-solve warm from
+		// the kept basis — the classic single-sink ECO edit. Raising a
+		// lower bound is always satisfiable by elongating that sink's
+		// leaf edge, so the demo never turns the instance infeasible.
+		coldPivots := tree.Stats.LPIterations
+		newL := tree.SinkDelays[0] + 0.05*r
+		newU := math.Max(bounds.Upper[0], newL)
+		if err := solved.Retighten(0, newL, newU); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		tree, err = solved.Resolve()
+		warmTime := time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if err := tree.Verify(); err != nil {
+			return fmt.Errorf("eco result failed verification: %w", err)
+		}
+		fmt.Println("--- eco: retighten sink 1, warm re-solve ---")
+		fmt.Printf("window'    [%.2f, %.2f]\n", newL, newU)
+		fmt.Printf("cost'      %.2f\n", tree.Cost)
+		fmt.Printf("eco-pivots %d warm vs %d cold  (%v)\n",
+			solved.ResolvePivots(), coldPivots, warmTime.Round(time.Microsecond))
+		if err := solved.Close(); err != nil {
+			return err
+		}
+	}
 	if cfg.showStats {
 		fmt.Println("--- lp stats ---")
 		fmt.Println(tree.Stats)

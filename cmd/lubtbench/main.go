@@ -22,8 +22,13 @@
 // (default "."), carrying the full LP-engine statistics spine —
 // including pricing_scheme, devex_resets and the reference-weight
 // extremes — with median-of-repeats timings; see EXPERIMENTS.md for the
-// field reference. ci.sh's bench smoke validates these files and gates
-// the Devex-vs-most-violated pivot counts (experiments.CheckPivotGate).
+// field reference. The "revised" row additionally carries the ECO probe
+// (eco_pivots, eco_resolve_ms): the solve is held open as a session, sink
+// 1's window is retightened past its routed delay, and the engine
+// re-solves warm from the kept basis. ci.sh's bench smoke validates these
+// files and gates the Devex-vs-most-violated pivot counts
+// (experiments.CheckPivotGate) plus the warm-vs-cold ECO ratio
+// (experiments.CheckEcoGate).
 package main
 
 import (

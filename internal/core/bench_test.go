@@ -2,10 +2,14 @@ package core
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"lubt/internal/bst"
+	"lubt/internal/delay"
 	"lubt/internal/geom"
+	"lubt/internal/lp"
+	"lubt/internal/topology"
 	"lubt/internal/wkld"
 )
 
@@ -83,6 +87,112 @@ func BenchmarkWarmResolve(b *testing.B) {
 				b.ReportMetric(float64(pivots), "pivots/op")
 			})
 		}
+	}
+}
+
+// BenchmarkEcoResolve times the ECO edit loop on the tie-heavy headline
+// workload: hold the r4-s solve open as a Session, retighten sink 1's
+// window past its routed delay, and warm re-solve — against the cold
+// dense-path re-solve of the same edited instance. The warm/cold pivot
+// ratio is the number ci.sh gates (experiments.CheckEcoGate).
+func BenchmarkEcoResolve(b *testing.B) {
+	in, cb := benchInstance(b, "r4-s")
+	radius := in.Radius()
+	b.Run("warm", func(b *testing.B) {
+		sess, err := NewSession(in, cb, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		newL := sess.Result().Delays[1] + 0.05*radius
+		newU := math.Max(cb.U[1], newL)
+		b.ResetTimer()
+		pivots := 0
+		for i := 0; i < b.N; i++ {
+			// Alternate between the retightened and the original window so
+			// every iteration re-solves a real edit from the kept basis.
+			l, u := newL, newU
+			if i%2 == 1 {
+				l, u = cb.L[1], cb.U[1]
+			}
+			if err := sess.Retighten(1, l, u); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Resolve(); err != nil {
+				b.Fatal(err)
+			}
+			pivots = sess.ResolvePivots()
+		}
+		b.ReportMetric(float64(pivots), "pivots/op")
+	})
+	b.Run("cold", func(b *testing.B) {
+		sess, err := NewSession(in, cb, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		newL := sess.Result().Delays[1] + 0.05*radius
+		eb := Bounds{L: append([]float64(nil), cb.L...), U: append([]float64(nil), cb.U...)}
+		eb.L[1] = newL
+		eb.U[1] = math.Max(cb.U[1], newL)
+		b.ResetTimer()
+		pivots := 0
+		for i := 0; i < b.N; i++ {
+			res, err := Solve(in, eb, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pivots = res.Stats.Pivots
+		}
+		b.ReportMetric(float64(pivots), "pivots/op")
+	})
+}
+
+// BenchmarkElmoreSLP times the Elmore sequential LP, persistent-engine
+// default versus the dense per-iteration rebuild ablation: same
+// instance, same delay windows, same trust-region schedule — the only
+// difference is whether each linearization restages the kept basis or
+// rebuilds an lp.Problem from scratch. The instance is the unit-scale
+// random family the Elmore tests use (the SLP's linearization is
+// scale-sensitive; the clock benches' coordinate magnitudes belong to
+// the linear-delay tables).
+func BenchmarkElmoreSLP(b *testing.B) {
+	const m = 20
+	rng := rand.New(rand.NewSource(83))
+	tree, err := topology.RandomBinary(rng, m, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &Instance{Tree: tree, SinkLoc: make([]geom.Point, m+1)}
+	for i := 1; i <= m; i++ {
+		in.SinkLoc[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	mdl := delay.Elmore{Rw: 0.1, Cw: 0.1}
+	unconstrained, err := Solve(in, UniformBounds(m, 0, math.Inf(1)), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dl := mdl.Delays(in.Tree, unconstrained.E)
+	worst := 0.0
+	for i := 1; i <= m; i++ {
+		worst = math.Max(worst, dl[i])
+	}
+	eb := UniformBounds(m, worst, 3*worst)
+	for _, v := range []struct {
+		name   string
+		solver lp.Solver
+	}{{"engine", nil}, {"dense", &lp.Simplex{}}} {
+		b.Run(v.name, func(b *testing.B) {
+			iters, pivots := 0, 0
+			for i := 0; i < b.N; i++ {
+				res, err := SolveElmore(in, eb, &ElmoreOptions{Model: mdl, Solver: v.solver})
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+				pivots = res.Stats.Pivots
+			}
+			b.ReportMetric(float64(iters), "iters/op")
+			b.ReportMetric(float64(pivots), "pivots/op")
+		})
 	}
 }
 

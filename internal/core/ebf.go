@@ -96,6 +96,33 @@ func (o *Options) engine(n int, w []float64) (lp.RowEngine, error) {
 	return nil, fmt.Errorf("core: unknown LP engine %q", name)
 }
 
+// loopParams lowers the option fields driving the row-generation loop to
+// their effective values (defaults applied, tolerance scaled by radius).
+func (o *Options) loopParams(in *Instance) (maxRounds, batch int, tol float64, workers int) {
+	maxRounds = 200
+	if o != nil && o.MaxRounds > 0 {
+		maxRounds = o.MaxRounds
+	}
+	if o != nil {
+		batch = o.Batch
+	}
+	if batch == 0 {
+		batch = in.Tree.NumSinks
+		if batch < 64 {
+			batch = 64
+		}
+	}
+	tol = 1e-7
+	if o != nil && o.Tol > 0 {
+		tol = o.Tol
+	}
+	tol *= math.Max(1, in.Radius())
+	if o != nil {
+		workers = o.OracleWorkers
+	}
+	return maxRounds, batch, tol, workers
+}
+
 func (o *Options) weights(n int) []float64 {
 	if o != nil && o.Weights != nil {
 		if len(o.Weights) != n {
@@ -108,6 +135,125 @@ func (o *Options) weights(n int) []float64 {
 		w[i] = 1
 	}
 	return w
+}
+
+// pairKey identifies an unordered fixed-point pair (stored with i ≤ j).
+type pairKey struct{ i, j int }
+
+// delayWindow lowers a sink's delay bounds (l, u) to the ranged-row
+// window the engines consume: a non-positive lower bound is vacuous (path
+// lengths are non-negative), an exact l = u window survives even at zero,
+// and a fully unbounded window states no row at all (ok = false).
+func delayWindow(l, u float64) (lo, hi float64, ok bool) {
+	lo = l
+	if lo <= 0 {
+		lo = math.Inf(-1)
+	}
+	hi = u
+	if l == u {
+		lo, hi = l, u
+	}
+	if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// genState is the row-generation loop state, shared between Solve (one
+// run to convergence, then discarded) and the ECO Session (one run per
+// Resolve against the same warm engine and Steiner row pool).
+type genState struct {
+	in        *Instance
+	eng       lp.RowEngine
+	w         []float64
+	have      map[pairKey]bool
+	full      bool
+	batch     int
+	maxRounds int
+	tol       float64 // already scaled by the instance radius
+	workers   int
+	tr        *obs.Tracer
+}
+
+// addPair states the Steiner row for fixed-point pair (i, j) once.
+func (g *genState) addPair(i, j int) {
+	if i > j {
+		i, j = j, i
+	}
+	k := pairKey{i, j}
+	if g.have[k] {
+		return
+	}
+	g.have[k] = true
+	g.eng.AddRow(unitTermsOf(g.in.Tree.Path(i, j)), lp.GE, g.in.Dist(i, j))
+}
+
+// run executes separation rounds — solve, scan, append violated rows —
+// until the oracle comes back clean, and assembles the Result from the
+// engine's cumulative counters.
+func (g *genState) run() (*Result, error) {
+	t := g.in.Tree
+	n := t.N()
+	res := &Result{}
+	var violByRound []int
+	var solveTime, sepTime time.Duration
+	for round := 0; ; round++ {
+		if round >= g.maxRounds {
+			return nil, fmt.Errorf("core: row generation did not converge in %d rounds", g.maxRounds)
+		}
+		rsp := g.tr.Start("round")
+		rsp.SetInt("round", round)
+		rsp.SetInt("rows", g.eng.NumRows())
+
+		lsp := g.tr.Start("lp-solve")
+		t0 := time.Now()
+		sol, err := g.eng.Solve()
+		solveTime += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("core: LP solve failed: %w", err)
+		}
+		lsp.SetInt("pivots", g.eng.Iterations())
+		lsp.SetString("status", sol.Status.String())
+		lsp.End()
+		switch sol.Status {
+		case lp.Optimal:
+		case lp.Infeasible:
+			// A subset of the true constraints is already infeasible, so
+			// the full problem is too.
+			return nil, fmt.Errorf("%w (LP infeasible after %d rounds)", ErrInfeasible, round)
+		default:
+			return nil, fmt.Errorf("core: LP returned %v", sol.Status)
+		}
+		res.Rounds = round + 1
+		res.LPIterations = g.eng.Iterations()
+
+		e := make([]float64, n)
+		copy(e[1:], sol.X[1:n])
+		ssp := g.tr.Start("separation")
+		t1 := time.Now()
+		viol := violatedPairsN(g.in, e, g.tol, g.batch, g.workers)
+		sepTime += time.Since(t1)
+		ssp.SetInt("violated", len(viol))
+		ssp.End()
+		violByRound = append(violByRound, len(viol))
+		rsp.End()
+		if len(viol) == 0 || g.full {
+			res.E = e
+			res.Delays = t.Delays(e)
+			res.Cost = weightedCost(g.w, e)
+			res.RowsUsed = len(g.have)
+			st := g.eng.Stats()
+			st.Rounds = res.Rounds
+			st.ViolatedByRound = violByRound
+			st.SolveTime = solveTime
+			st.SeparationTime = sepTime
+			res.Stats = st
+			return res, nil
+		}
+		for _, pr := range viol {
+			g.addPair(pr[0], pr[1])
+		}
+	}
 }
 
 // Result is a solved EBF instance.
@@ -152,29 +298,7 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 	}
 	t := in.Tree
 	n := t.N() // LP variables: edges 1…n−1 mapped to columns 1…n−1 (column 0 unused but harmless)
-	maxRounds := 200
-	if opt != nil && opt.MaxRounds > 0 {
-		maxRounds = opt.MaxRounds
-	}
-	batch := 0
-	if opt != nil {
-		batch = opt.Batch
-	}
-	if batch == 0 {
-		batch = t.NumSinks
-		if batch < 64 {
-			batch = 64
-		}
-	}
-	tol := 1e-7
-	if opt != nil && opt.Tol > 0 {
-		tol = opt.Tol
-	}
-	tol *= math.Max(1, in.Radius())
-	workers := 0
-	if opt != nil {
-		workers = opt.OracleWorkers
-	}
+	maxRounds, batch, tol, workers := opt.loopParams(in)
 	w := opt.weights(n)
 
 	tr := opt.tracer()
@@ -209,113 +333,42 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 		}
 	}
 	for i := 1; i <= t.NumSinks; i++ {
-		path := unitTermsOf(t.PathToRoot(i))
-		l, u := b.L[i], b.U[i]
-		lo := l
-		if lo <= 0 {
-			lo = math.Inf(-1) // path lengths are non-negative: vacuous side
-		}
-		hi := u
-		if l == u {
-			lo, hi = l, u // exact window even at zero
-		}
-		if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		lo, hi, ok := delayWindow(b.L[i], b.U[i])
+		if !ok {
 			continue // fully unbounded window: no constraint at all
 		}
-		eng.AddRangedRow(path, lo, hi)
+		eng.AddRangedRow(unitTermsOf(t.PathToRoot(i)), lo, hi)
 	}
 
-	type pairKey struct{ i, j int }
-	have := map[pairKey]bool{}
-	addPair := func(i, j int) {
-		if i > j {
-			i, j = j, i
-		}
-		k := pairKey{i, j}
-		if have[k] {
-			return
-		}
-		have[k] = true
-		eng.AddRow(unitTermsOf(t.Path(i, j)), lp.GE, in.Dist(i, j))
+	gen := &genState{
+		in:        in,
+		eng:       eng,
+		w:         w,
+		have:      map[pairKey]bool{},
+		full:      opt != nil && opt.FullMatrix,
+		batch:     batch,
+		maxRounds: maxRounds,
+		tol:       tol,
+		workers:   workers,
+		tr:        tr,
 	}
-	full := opt != nil && opt.FullMatrix
-	if full {
+	if gen.full {
 		for i := 1; i <= t.NumSinks; i++ {
 			for j := i + 1; j <= t.NumSinks; j++ {
-				addPair(i, j)
+				gen.addPair(i, j)
 			}
 		}
 		if in.Source != nil {
 			for i := 1; i <= t.NumSinks; i++ {
-				addPair(0, i)
+				gen.addPair(0, i)
 			}
 		}
 	} else {
 		for _, pr := range seedPairs(in) {
-			addPair(pr[0], pr[1])
+			gen.addPair(pr[0], pr[1])
 		}
 	}
-
-	res := &Result{}
-	var violByRound []int
-	var solveTime, sepTime time.Duration
-	for round := 0; ; round++ {
-		if round >= maxRounds {
-			return nil, fmt.Errorf("core: row generation did not converge in %d rounds", maxRounds)
-		}
-		rsp := tr.Start("round")
-		rsp.SetInt("round", round)
-		rsp.SetInt("rows", eng.NumRows())
-
-		lsp := tr.Start("lp-solve")
-		t0 := time.Now()
-		sol, err := eng.Solve()
-		solveTime += time.Since(t0)
-		if err != nil {
-			return nil, fmt.Errorf("core: LP solve failed: %w", err)
-		}
-		lsp.SetInt("pivots", eng.Iterations())
-		lsp.SetString("status", sol.Status.String())
-		lsp.End()
-		switch sol.Status {
-		case lp.Optimal:
-		case lp.Infeasible:
-			// A subset of the true constraints is already infeasible, so
-			// the full problem is too.
-			return nil, fmt.Errorf("%w (LP infeasible after %d rounds)", ErrInfeasible, round)
-		default:
-			return nil, fmt.Errorf("core: LP returned %v", sol.Status)
-		}
-		res.Rounds = round + 1
-		res.LPIterations = eng.Iterations()
-
-		e := make([]float64, n)
-		copy(e[1:], sol.X[1:n])
-		ssp := tr.Start("separation")
-		t1 := time.Now()
-		viol := violatedPairsN(in, e, tol, batch, workers)
-		sepTime += time.Since(t1)
-		ssp.SetInt("violated", len(viol))
-		ssp.End()
-		violByRound = append(violByRound, len(viol))
-		rsp.End()
-		if len(viol) == 0 || full {
-			res.E = e
-			res.Delays = t.Delays(e)
-			res.Cost = weightedCost(w, e)
-			res.RowsUsed = len(have)
-			st := eng.Stats()
-			st.Rounds = res.Rounds
-			st.ViolatedByRound = violByRound
-			st.SolveTime = solveTime
-			st.SeparationTime = sepTime
-			res.Stats = st
-			return res, nil
-		}
-		for _, pr := range viol {
-			addPair(pr[0], pr[1])
-		}
-	}
+	return gen.run()
 }
 
 // coldEngine adapts an explicit lp.Solver to the RowEngine interface: rows

@@ -14,7 +14,12 @@ import (
 type ElmoreOptions struct {
 	// Model supplies r_w, c_w and sink loads. Required.
 	Model delay.Elmore
-	// Solver defaults to simplex.
+	// Solver selects an explicit cold solver; each SLP iteration then
+	// rebuilds a dense lp.Problem from scratch (the ablation baseline).
+	// Nil (the default) runs the whole SLP on one persistent revised
+	// engine: the trust region is restaged as variable boxes, the
+	// linearized delay windows are replaced in place, and each iteration
+	// warm-starts from the previous basis.
 	Solver lp.Solver
 	// MaxIter bounds SLP iterations; 0 means 300.
 	MaxIter int
@@ -38,12 +43,35 @@ type ElmoreResult struct {
 	// MaxViolation is the residual Elmore delay-window violation in time
 	// units (≤ the solver tolerance × bound scale on success).
 	MaxViolation float64
-	// IterStats holds one lp.Stats record per SLP iteration (pivot count,
-	// subproblem row/nonzero size, solve wall time, terminal residual of
-	// the linearized LP), in iteration order. Stats is their fold (plus
-	// the warm start's record) via lp.Stats.Merge.
+	// IterStats holds one lp.Stats record per SLP iteration, in iteration
+	// order. On the default engine path each record is the delta of the
+	// persistent engine's counters across that iteration (pivots taken,
+	// restages and row replacements absorbed, refactorizations) with the
+	// gauges sampled after its solve; on the cold-solver path it describes
+	// that iteration's dense subproblem. Stats is their fold (plus the
+	// warm start's record) via lp.Stats.Merge, so e.g. Stats.Restages
+	// equals the engine's cumulative restage count.
 	IterStats []lp.Stats
 	Stats     lp.Stats
+}
+
+// statsDelta returns cur − prev on the cumulative engine counters while
+// keeping cur's gauges: the per-iteration record of a persistent engine.
+func statsDelta(cur, prev lp.Stats) lp.Stats {
+	d := cur
+	d.Pivots -= prev.Pivots
+	d.Refactorizations -= prev.Refactorizations
+	d.Resets -= prev.Resets
+	d.BoundFlips -= prev.BoundFlips
+	d.Restages -= prev.Restages
+	d.RowReplacements -= prev.RowReplacements
+	d.DevexResets -= prev.DevexResets
+	d.ResetReasons = append([]string(nil), cur.ResetReasons[len(prev.ResetReasons):]...)
+	d.ViolatedByRound = nil
+	d.SeparationTime = 0
+	d.SolveTime = 0
+	d.Rounds = 0
+	return d
 }
 
 // SolveElmore solves the EBF under the Elmore delay model (§7). The
@@ -69,10 +97,7 @@ func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, err
 	if len(b.L) != m+1 || len(b.U) != m+1 {
 		return nil, fmt.Errorf("core: bounds sized %d/%d for %d sinks", len(b.L), len(b.U), m)
 	}
-	solver := opt.Solver
-	if solver == nil {
-		solver = &lp.Simplex{}
-	}
+	solver := opt.Solver // nil (default) selects the persistent revised engine
 	maxIter := opt.MaxIter
 	if maxIter == 0 {
 		maxIter = 300
@@ -174,7 +199,6 @@ func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, err
 	}
 
 	// Growing Steiner row pool (pairs), seeded like the linear solver.
-	type pairKey struct{ i, j int }
 	pool := map[pairKey][2]int{}
 	addPair := func(pr [2]int) {
 		i, j := pr[0], pr[1]
@@ -193,6 +217,57 @@ func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, err
 	// Elastic penalty per unit of delay-window slack (time units →
 	// wirelength units); escalated when violation stops improving.
 	penalty := 100 * (1 + cost(e)) / timeScale
+
+	// Elastic slack columns: one per finite delay-bound side, fixed across
+	// iterations (the bounds do not change, only the linearization does).
+	nSlack := 0
+	for i := 1; i <= m; i++ {
+		if b.L[i] > 0 {
+			nSlack++
+		}
+		if !math.IsInf(b.U[i], 1) {
+			nSlack++
+		}
+	}
+	// Default path: ONE persistent revised engine for the whole SLP. The
+	// trust region lives in the variable boxes (restaged between solves,
+	// zero rows), the linearized delay windows are rows replaced in place
+	// each iteration (a true coefficient rewrite: one refactorization, but
+	// the basis membership survives), the Steiner pool is append-only, and
+	// penalty escalation restages the slack costs. Each iteration
+	// warm-starts from the previous trust-region subproblem's basis.
+	useEngine := solver == nil
+	var (
+		rv             *lp.Revised
+		rowLow, rowUpp []int // sink → engine tableau row of that window side, or −1
+		poolAdded      map[pairKey]bool
+		lastPenalty    float64
+		prevStats      lp.Stats
+	)
+	if useEngine {
+		costs := make([]float64, n+nSlack)
+		for k := 1; k < n; k++ {
+			costs[k] = w[k]
+		}
+		for s := 0; s < nSlack; s++ {
+			costs[n+s] = penalty
+		}
+		rv = lp.NewRevised(n+nSlack, costs)
+		rv.SetTracer(tr)
+		for k := 1; k < n; k++ {
+			if t.ForcedZero[k] {
+				rv.SetVarBounds(k, 0, 0)
+			}
+		}
+		rowLow = make([]int, m+1)
+		rowUpp = make([]int, m+1)
+		for i := range rowLow {
+			rowLow[i], rowUpp[i] = -1, -1
+		}
+		poolAdded = map[pairKey]bool{}
+		lastPenalty = penalty
+		prevStats = rv.Stats()
+	}
 	iters := 0
 	for ; iters < maxIter; iters++ {
 		// Refresh Steiner pool at the current point.
@@ -214,91 +289,162 @@ func SolveElmore(in *Instance, b Bounds, opt *ElmoreOptions) (*ElmoreResult, err
 			}
 		}
 		d := mdl.Delays(t, ep)
-		// Elastic subproblem: edge variables 1…n−1 plus one penalized
-		// slack per finite delay bound, so the linearized LP is always
-		// feasible regardless of the trust region.
-		nSlack := 0
-		for i := 1; i <= m; i++ {
-			if b.L[i] > 0 {
-				nSlack++
-			}
-			if !math.IsInf(b.U[i], 1) {
-				nSlack++
-			}
-		}
-		p := lp.NewProblem(n + nSlack)
-		for k := 1; k < n; k++ {
-			p.SetCost(k, w[k])
-		}
-		for s := 0; s < nSlack; s++ {
-			p.SetCost(n+s, penalty)
-		}
-		for k := 1; k < n; k++ {
-			if t.ForcedZero[k] {
-				p.AddSumEQ([]int{k}, 0, "")
-				continue
-			}
-			// Trust region.
-			p.AddConstraint([]lp.Term{{Var: k, Coef: 1}}, lp.LE, e[k]+tau, "")
-			if lo := e[k] - tau; lo > 0 {
-				p.AddConstraint([]lp.Term{{Var: k, Coef: 1}}, lp.GE, lo, "")
-			}
-		}
-		for _, pr := range pool {
-			path := t.Path(pr[0], pr[1])
-			p.AddSumGE(path, in.Dist(pr[0], pr[1]), "")
-		}
-		// Linearized Elmore delay windows with elastic slack:
-		// d_j(e0) + g_j·(e−e0) + s ≥ l,  d_j(e0) + g_j·(e−e0) − s' ≤ u.
-		slack := n
-		for i := 1; i <= m; i++ {
-			g := mdl.Gradient(t, ep, i)
-			var terms []lp.Term
-			off := d[i]
-			for k := 1; k < n; k++ {
-				if g[k] != 0 {
-					terms = append(terms, lp.Term{Var: k, Coef: g[k]})
-					off -= g[k] * ep[k]
-				}
-			}
-			if b.L[i] > 0 {
-				rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slack, Coef: 1})
-				p.AddConstraint(rows, lp.GE, b.L[i]-off, "")
-				slack++
-			}
-			if !math.IsInf(b.U[i], 1) {
-				rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slack, Coef: -1})
-				p.AddConstraint(rows, lp.LE, b.U[i]-off, "")
-				slack++
-			}
-		}
+		// The slp-iter span wraps the whole iteration step: on the engine
+		// path that is restage (trust boxes, penalty costs, window-row
+		// replacement) + warm solve; on the cold path, build + solve.
 		isp := tr.Start("slp-iter")
 		isp.SetInt("iter", iters)
-		isp.SetInt("rows", len(p.Cons))
-		t0 := time.Now()
-		sol, err := solver.Solve(p)
-		dt := time.Since(t0)
-		if err != nil {
-			return nil, fmt.Errorf("core: SLP subproblem failed: %w", err)
-		}
-		// One lp.Stats record per SLP iteration: the subproblem is cold, so
-		// pivots, size and terminal residual fully describe it.
-		ist := lp.Stats{
-			Pivots:             sol.Iterations,
-			LogicalRows:        len(p.Cons),
-			TableauRows:        len(p.Cons),
-			LoweredTableauRows: len(p.Cons), // Problem rows are already lowered
-			NumericalResidual:  sol.NumericalResidual,
-			SolveTime:          dt,
-			Rounds:             1,
-			GaugesValid:        true,
-		}
-		for _, c := range p.Cons {
-			ist.RowNonzeros += len(c.Terms)
+		var (
+			sol *lp.Solution
+			err error
+			ist lp.Stats
+		)
+		if useEngine {
+			// Trust region as restaged variable boxes (zero rows).
+			for k := 1; k < n; k++ {
+				if t.ForcedZero[k] {
+					continue
+				}
+				rv.SetVarBounds(k, math.Max(e[k]-tau, 0), e[k]+tau)
+			}
+			if penalty != lastPenalty {
+				for s := 0; s < nSlack; s++ {
+					rv.SetCost(n+s, penalty)
+				}
+				lastPenalty = penalty
+			}
+			// Append newly separated Steiner rows (the pool only grows).
+			for key, pr := range pool {
+				if poolAdded[key] {
+					continue
+				}
+				poolAdded[key] = true
+				rv.AddRow(unitTermsOf(t.Path(pr[0], pr[1])), lp.GE, in.Dist(pr[0], pr[1]))
+			}
+			// Linearized Elmore delay windows with elastic slack:
+			// d_j(e0) + g_j·(e−e0) + s ≥ l,  d_j(e0) + g_j·(e−e0) − s' ≤ u,
+			// replaced in place each iteration (the gradient moved).
+			slot := n
+			for i := 1; i <= m; i++ {
+				g := mdl.Gradient(t, ep, i)
+				var terms []lp.Term
+				off := d[i]
+				for k := 1; k < n; k++ {
+					if g[k] != 0 {
+						terms = append(terms, lp.Term{Var: k, Coef: g[k]})
+						off -= g[k] * ep[k]
+					}
+				}
+				if b.L[i] > 0 {
+					rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slot, Coef: 1})
+					if rowLow[i] < 0 {
+						rowLow[i] = rv.TableauRows()
+						rv.AddRangedRow(rows, b.L[i]-off, math.Inf(1))
+					} else {
+						rv.ReplaceRangedRow(rowLow[i], rows, b.L[i]-off, math.Inf(1))
+					}
+					slot++
+				}
+				if !math.IsInf(b.U[i], 1) {
+					rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slot, Coef: -1})
+					if rowUpp[i] < 0 {
+						rowUpp[i] = rv.TableauRows()
+						rv.AddRangedRow(rows, math.Inf(-1), b.U[i]-off)
+					} else {
+						rv.ReplaceRangedRow(rowUpp[i], rows, math.Inf(-1), b.U[i]-off)
+					}
+					slot++
+				}
+			}
+			isp.SetInt("rows", rv.NumRows())
+			t0 := time.Now()
+			sol, err = rv.Solve()
+			dt := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("core: SLP subproblem failed: %w", err)
+			}
+			// Per-iteration record: the engine's counter deltas across this
+			// restage+solve, with the gauges sampled after it.
+			cur := rv.Stats()
+			ist = statsDelta(cur, prevStats)
+			prevStats = cur
+			ist.SolveTime = dt
+			ist.Rounds = 1
+		} else {
+			// Ablation path (explicit cold Solver): a fresh dense Problem
+			// per iteration, exactly the pre-restaging pipeline.
+			p := lp.NewProblem(n + nSlack)
+			for k := 1; k < n; k++ {
+				p.SetCost(k, w[k])
+			}
+			for s := 0; s < nSlack; s++ {
+				p.SetCost(n+s, penalty)
+			}
+			for k := 1; k < n; k++ {
+				if t.ForcedZero[k] {
+					p.AddSumEQ([]int{k}, 0, "")
+					continue
+				}
+				// Trust region.
+				p.AddConstraint([]lp.Term{{Var: k, Coef: 1}}, lp.LE, e[k]+tau, "")
+				if lo := e[k] - tau; lo > 0 {
+					p.AddConstraint([]lp.Term{{Var: k, Coef: 1}}, lp.GE, lo, "")
+				}
+			}
+			for _, pr := range pool {
+				path := t.Path(pr[0], pr[1])
+				p.AddSumGE(path, in.Dist(pr[0], pr[1]), "")
+			}
+			slack := n
+			for i := 1; i <= m; i++ {
+				g := mdl.Gradient(t, ep, i)
+				var terms []lp.Term
+				off := d[i]
+				for k := 1; k < n; k++ {
+					if g[k] != 0 {
+						terms = append(terms, lp.Term{Var: k, Coef: g[k]})
+						off -= g[k] * ep[k]
+					}
+				}
+				if b.L[i] > 0 {
+					rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slack, Coef: 1})
+					p.AddConstraint(rows, lp.GE, b.L[i]-off, "")
+					slack++
+				}
+				if !math.IsInf(b.U[i], 1) {
+					rows := append(append([]lp.Term(nil), terms...), lp.Term{Var: slack, Coef: -1})
+					p.AddConstraint(rows, lp.LE, b.U[i]-off, "")
+					slack++
+				}
+			}
+			isp.SetInt("rows", len(p.Cons))
+			t0 := time.Now()
+			sol, err = solver.Solve(p)
+			dt := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("core: SLP subproblem failed: %w", err)
+			}
+			// The subproblem is cold, so pivots, size and terminal residual
+			// fully describe it.
+			ist = lp.Stats{
+				Pivots:             sol.Iterations,
+				LogicalRows:        len(p.Cons),
+				TableauRows:        len(p.Cons),
+				LoweredTableauRows: len(p.Cons), // Problem rows are lowered on entry
+				NumericalResidual:  sol.NumericalResidual,
+				SolveTime:          dt,
+				Rounds:             1,
+				GaugesValid:        true,
+			}
+			for _, c := range p.Cons {
+				ist.RowNonzeros += len(c.Terms)
+			}
 		}
 		iterStats = append(iterStats, ist)
 		mergedStats.Merge(ist)
-		isp.SetInt("pivots", sol.Iterations)
+		isp.SetInt("pivots", ist.Pivots)
+		isp.SetInt("restages", ist.Restages)
+		isp.SetInt("row_replacements", ist.RowReplacements)
 		isp.SetString("status", sol.Status.String())
 		isp.SetFloat("tau", tau)
 		isp.End()

@@ -8,6 +8,7 @@ import (
 
 	"lubt/internal/delay"
 	"lubt/internal/geom"
+	"lubt/internal/lp"
 	"lubt/internal/topology"
 )
 
@@ -154,5 +155,157 @@ func TestSolveElmoreBadBounds(t *testing.T) {
 	bad := Bounds{L: make([]float64, 2), U: make([]float64, 2)}
 	if _, err := SolveElmore(in, bad, &ElmoreOptions{Model: delay.Elmore{Rw: 1, Cw: 1}}); err == nil {
 		t.Error("mis-sized bounds accepted")
+	}
+}
+
+// elmoreWindowInstance builds a two-sided-window Elmore problem that
+// needs several SLP iterations: non-zero lower bounds force elongation
+// and a finite cap keeps both window sides stated.
+func elmoreWindowInstance(t *testing.T, seed int64, m int) (*Instance, Bounds, delay.Elmore) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	in := elmoreInstance(t, rng, m)
+	mdl := delay.Elmore{Rw: 0.1, Cw: 0.1}
+	unconstrained, err := Solve(in, UniformBounds(m, 0, math.Inf(1)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := mdl.Delays(in.Tree, unconstrained.E)
+	worst := 0.0
+	for i := 1; i <= m; i++ {
+		worst = math.Max(worst, dl[i])
+	}
+	b := Bounds{L: make([]float64, m+1), U: make([]float64, m+1)}
+	for i := 1; i <= m; i++ {
+		b.L[i] = worst
+		b.U[i] = worst * 3
+	}
+	return in, b, mdl
+}
+
+// TestElmoreIterStatsMerge is the regression test for the per-iteration
+// stats record: on the default engine path every IterStats entry must be
+// a real counter delta of the persistent engine (restages and row
+// replacements included) whose sum telescopes to the merged record, and
+// its gauges must reflect the boxed engine's single-row ranged windows —
+// not the len(p.Cons) mislabel the dense path used to stamp on both
+// fields.
+func TestElmoreIterStatsMerge(t *testing.T) {
+	in, b, mdl := elmoreWindowInstance(t, 76, 5)
+	res, err := SolveElmore(in, b, &ElmoreOptions{Model: mdl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A convergence break exits the loop after recording the final
+	// iteration but before the counter increments, so the record count is
+	// Iterations or Iterations+1.
+	if n := len(res.IterStats); n != res.Iterations && n != res.Iterations+1 {
+		t.Fatalf("%d IterStats records for %d iterations", n, res.Iterations)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("window instance converged in %d iterations; the restage path never ran", res.Iterations)
+	}
+	var sumPivots, sumRestages, sumReplacements int
+	for it, ist := range res.IterStats {
+		sumPivots += ist.Pivots
+		sumRestages += ist.Restages
+		sumReplacements += ist.RowReplacements
+		if !ist.GaugesValid {
+			t.Errorf("iteration %d: gauges not sampled from the engine", it)
+		}
+		// Real engine gauges, not a hand-stamped per-Problem record: the
+		// stored-nonzero count is live and the lowered count can only meet
+		// or exceed the tableau count (the SLP's window sides are one-sided
+		// rows, so here they coincide — but never undershoot).
+		if ist.RowNonzeros <= 0 || ist.TableauRows <= 0 {
+			t.Errorf("iteration %d: empty row gauges (%d rows, %d nnz)",
+				it, ist.TableauRows, ist.RowNonzeros)
+		}
+		if ist.LoweredTableauRows < ist.TableauRows {
+			t.Errorf("iteration %d: lowered %d < tableau %d",
+				it, ist.LoweredTableauRows, ist.TableauRows)
+		}
+		if ist.Rounds != 1 {
+			t.Errorf("iteration %d: rounds = %d, want 1", it, ist.Rounds)
+		}
+		// Counter deltas of a persistent engine are never negative; a
+		// negative delta means statsDelta and the engine's cumulative
+		// counters (DevexResets across restages especially) disagree.
+		if ist.Pivots < 0 || ist.Restages < 0 || ist.RowReplacements < 0 ||
+			ist.Refactorizations < 0 || ist.DevexResets < 0 || ist.BoundFlips < 0 {
+			t.Errorf("iteration %d: negative counter delta: %+v", it, ist)
+		}
+	}
+	// Iteration 1 builds the engine pre-solve (no restaging yet); every
+	// later iteration restages the trust boxes.
+	if res.IterStats[0].Restages != 0 {
+		t.Errorf("iteration 0 restaged %d times before the first solve", res.IterStats[0].Restages)
+	}
+	for it := 1; it < len(res.IterStats); it++ {
+		if res.IterStats[it].Restages == 0 {
+			t.Errorf("iteration %d: no trust-region restage recorded", it)
+		}
+	}
+	if sumRestages == 0 {
+		t.Error("no restages across the whole SLP — the engine is being rebuilt per iteration")
+	}
+	// The merged record folds the warm start (which restages nothing) plus
+	// the per-iteration deltas, so the cumulative engine counters must
+	// telescope exactly.
+	if res.Stats.Restages != sumRestages {
+		t.Errorf("merged Restages %d != Σ per-iteration %d", res.Stats.Restages, sumRestages)
+	}
+	if res.Stats.RowReplacements != sumReplacements {
+		t.Errorf("merged RowReplacements %d != Σ per-iteration %d", res.Stats.RowReplacements, sumReplacements)
+	}
+	if res.Stats.Pivots < sumPivots {
+		t.Errorf("merged Pivots %d < Σ per-iteration %d (warm start missing?)", res.Stats.Pivots, sumPivots)
+	}
+}
+
+// TestElmoreEngineVsDenseAblation runs the same window instance through
+// the default persistent engine and the explicit cold-solver ablation:
+// both must satisfy the windows, and the cold path's IterStats must keep
+// its documented dense shape (logical == tableau == lowered rows).
+func TestElmoreEngineVsDenseAblation(t *testing.T) {
+	in, b, mdl := elmoreWindowInstance(t, 77, 4)
+	warm, err := SolveElmore(in, b, &ElmoreOptions{Model: mdl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SolveElmore(in, b, &ElmoreOptions{Model: mdl, Solver: &lp.Simplex{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 + math.Max(warm.Cost, cold.Cost)
+	for _, res := range []*ElmoreResult{warm, cold} {
+		d := mdl.Delays(in.Tree, res.E)
+		for i := 1; i <= in.Tree.NumSinks; i++ {
+			if d[i] < b.L[i]-res.MaxViolation-1e-9*scale || d[i] > b.U[i]+res.MaxViolation+1e-9*scale {
+				t.Errorf("delay(s%d) = %g outside [%g, %g] beyond reported violation %g",
+					i, d[i], b.L[i], b.U[i], res.MaxViolation)
+			}
+		}
+	}
+	// SLP is a local heuristic, but on the same instance the two pivot
+	// paths should land within a few percent of each other.
+	if ratio := warm.Cost / cold.Cost; ratio > 1.05 || ratio < 1/1.05 {
+		t.Errorf("engine cost %g vs dense-ablation cost %g (ratio %g)", warm.Cost, cold.Cost, ratio)
+	}
+	for it, ist := range cold.IterStats {
+		if ist.Restages != 0 || ist.RowReplacements != 0 {
+			t.Errorf("cold iteration %d reports restages %d / replacements %d",
+				it, ist.Restages, ist.RowReplacements)
+		}
+		if ist.LogicalRows != ist.TableauRows || ist.TableauRows != ist.LoweredTableauRows {
+			t.Errorf("cold iteration %d: rows %d/%d/%d, want identical dense counts",
+				it, ist.LogicalRows, ist.TableauRows, ist.LoweredTableauRows)
+		}
+	}
+	if warm.Stats.Restages == 0 {
+		t.Error("engine path recorded no restages")
+	}
+	if cold.Stats.Restages != 0 {
+		t.Errorf("dense ablation recorded %d restages", cold.Stats.Restages)
 	}
 }

@@ -56,9 +56,21 @@ type EngineRecord struct {
 	DevexResets   int     `json:"devex_resets"`
 	WeightMin     float64 `json:"weight_min"`
 	WeightMax     float64 `json:"weight_max"`
-	SepScanNS     int64   `json:"sep_scan_ns"`
-	LPSolveNS     int64   `json:"lp_solve_ns"`
-	WallNS        int64   `json:"wall_ns"`
+	// Restages / RowReplacements count post-solve engine edits absorbed
+	// without and with a structural row rewrite, and EcoPivots /
+	// EcoResolveMS record the single-sink ECO probe: retighten sink 1's
+	// window past its routed delay on a held-open session and re-solve
+	// warm from the kept basis (pivot count from the first run, resolve
+	// time the median of repeats, in milliseconds). Zero on the engines
+	// that cannot restage — appended in lubt-bench/1 (append-only within
+	// the major version).
+	Restages        int     `json:"restages"`
+	RowReplacements int     `json:"row_replacements"`
+	EcoPivots       int     `json:"eco_pivots"`
+	EcoResolveMS    float64 `json:"eco_resolve_ms"`
+	SepScanNS       int64   `json:"sep_scan_ns"`
+	LPSolveNS       int64   `json:"lp_solve_ns"`
+	WallNS          int64   `json:"wall_ns"`
 }
 
 // BenchRecords runs the EngineStats workload (0.1·radius skew window,
@@ -92,6 +104,14 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 				return nil, fmt.Errorf("%s/%s: %w", name, eng.Label, err)
 			}
 			res, st := run.res, run.res.Stats
+			var ecoPivots int
+			var ecoMS float64
+			if eng.Engine == "revised" && eng.Pricing == "devex" {
+				ecoPivots, ecoMS, err = in.runECO(base, l, u, eng, repeats)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s eco: %w", name, eng.Label, err)
+				}
+			}
 			rec.Engines = append(rec.Engines, EngineRecord{
 				Engine:             eng.Label,
 				Cost:               res.Cost,
@@ -115,6 +135,10 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 				DevexResets:        st.DevexResets,
 				WeightMin:          st.WeightMin,
 				WeightMax:          st.WeightMax,
+				Restages:           st.Restages,
+				RowReplacements:    st.RowReplacements,
+				EcoPivots:          ecoPivots,
+				EcoResolveMS:       ecoMS,
 				SepScanNS:          medianDuration(run.sep).Nanoseconds(),
 				LPSolveNS:          medianDuration(run.lp).Nanoseconds(),
 				WallNS:             medianDuration(run.wall).Nanoseconds(),
@@ -205,6 +229,28 @@ func CheckPivotGate(rec BenchRecord) error {
 	if devex.Pivots > mv.Pivots {
 		return fmt.Errorf("pivot gate: %s: devex took %d pivots, most-violated baseline %d — Devex pricing regressed",
 			rec.Bench, devex.Pivots, mv.Pivots)
+	}
+	return nil
+}
+
+// CheckEcoGate enforces the warm-restart regression gate behind ci.sh's
+// ECO smoke: on a record whose "revised" row carries a measured ECO probe
+// (EcoResolveMS > 0), the warm re-solve after the single-sink retighten
+// must take fewer than 25% of the cold solve's dual pivots — restaging
+// exists to make local edits cheap, so a warm count near the cold one
+// means the basis or factorization is being thrown away on edit. Records
+// without a probe (hand-built ones, non-revised-only lineups) pass
+// vacuously.
+func CheckEcoGate(rec BenchRecord) error {
+	for i := range rec.Engines {
+		e := &rec.Engines[i]
+		if e.Engine != "revised" || e.EcoResolveMS <= 0 || e.Pivots <= 0 {
+			continue
+		}
+		if e.EcoPivots*4 >= e.Pivots {
+			return fmt.Errorf("eco gate: %s: warm re-solve took %d pivots vs %d cold (≥25%%) — restaging is not keeping the basis warm",
+				rec.Bench, e.EcoPivots, e.Pivots)
+		}
 	}
 	return nil
 }

@@ -56,6 +56,21 @@ func TestBenchRecordsRoundTrip(t *testing.T) {
 	if err := CheckPivotGate(rec); err != nil {
 		t.Errorf("pivot gate on prim1-s: %v", err)
 	}
+	// The revised row must carry a measured ECO probe and pass the warm
+	// gate; the other engines cannot restage and must report zeros.
+	for _, e := range rec.Engines {
+		if e.Engine == "revised" {
+			if e.EcoResolveMS <= 0 {
+				t.Errorf("revised row missing ECO probe: eco_resolve_ms = %g", e.EcoResolveMS)
+			}
+		} else if e.EcoPivots != 0 || e.EcoResolveMS != 0 {
+			t.Errorf("%s reports an ECO probe (%d pivots, %g ms), want zeros",
+				e.Engine, e.EcoPivots, e.EcoResolveMS)
+		}
+	}
+	if err := CheckEcoGate(rec); err != nil {
+		t.Errorf("eco gate on prim1-s: %v", err)
+	}
 }
 
 // TestBenchJSONSchema locks the lubt-bench/1 key set: any new, removed or
@@ -92,6 +107,7 @@ func TestBenchJSONSchema(t *testing.T) {
 		"tableau_rows", "lowered_tableau_rows", "ranged_rows", "row_nonzeros",
 		"numerical_residual", "pivot_min", "pivot_max",
 		"pricing_scheme", "devex_resets", "weight_min", "weight_max",
+		"restages", "row_replacements", "eco_pivots", "eco_resolve_ms",
 		"sep_scan_ns", "lp_solve_ns", "wall_ns",
 	}
 	if len(engines[0]) != len(wantEng) {
@@ -180,6 +196,61 @@ func TestBenchJSONPivotGate(t *testing.T) {
 	}
 	if err := CheckPivotGate(rec); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBenchJSONEcoGate applies the warm-ECO pivot gate to an externally
+// produced BENCH_*.json named by LUBT_BENCH_JSON (skipped when unset).
+// ci.sh runs it after `lubtbench -json` on r4-s: the warm re-solve after
+// a single-sink retighten must take fewer than 25% of the cold solve's
+// pivots.
+func TestBenchJSONEcoGate(t *testing.T) {
+	path := os.Getenv("LUBT_BENCH_JSON")
+	if path == "" {
+		t.Skip("LUBT_BENCH_JSON not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var rec BenchRecord
+	if err := dec.Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEcoGate(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckEcoGate exercises the ECO gate's decision table on hand-built
+// records.
+func TestCheckEcoGate(t *testing.T) {
+	mk := func(cold, warm int, ms float64) BenchRecord {
+		return BenchRecord{
+			Bench: "x",
+			Engines: []EngineRecord{
+				{Engine: "revised", Pivots: cold, EcoPivots: warm, EcoResolveMS: ms},
+				{Engine: "dense"},
+			},
+		}
+	}
+	if err := CheckEcoGate(mk(100, 24, 1)); err != nil {
+		t.Errorf("24%% warm: %v", err)
+	}
+	if err := CheckEcoGate(mk(100, 25, 1)); err == nil {
+		t.Error("25%% warm accepted")
+	}
+	if err := CheckEcoGate(mk(100, 100, 1)); err == nil {
+		t.Error("warm == cold accepted")
+	}
+	// No probe recorded (eco_resolve_ms 0) → vacuous pass.
+	if err := CheckEcoGate(mk(100, 99, 0)); err != nil {
+		t.Errorf("no probe: %v", err)
+	}
+	// No revised row → vacuous pass.
+	if err := CheckEcoGate(BenchRecord{Engines: []EngineRecord{{Engine: "dense"}}}); err != nil {
+		t.Errorf("no revised row: %v", err)
 	}
 }
 

@@ -188,6 +188,51 @@ func (in *instance) runRepeated(base *bst.Result, l, u float64, eng engineSpec, 
 	return run, nil
 }
 
+// runECO measures the single-sink retighten ECO probe on the restageable
+// revised engine: hold the solve open as a core.Session, retighten sink
+// 1's lower bound past its routed delay (always satisfiable — the sink's
+// leaf edge can elongate), and re-solve warm from the kept basis. The
+// pivot count comes from the first (deterministic) run; the resolve time
+// is the median over `repeats` sessions, in milliseconds.
+func (in *instance) runECO(base *bst.Result, l, u float64, eng engineSpec, repeats int) (pivots int, resolveMS float64, err error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	ci := &core.Instance{
+		Tree:    base.Tree,
+		SinkLoc: make([]geom.Point, len(in.bench.Sinks)+1),
+		Source:  &in.source,
+	}
+	copy(ci.SinkLoc[1:], in.bench.Sinks)
+	m := base.Tree.NumSinks
+	cb := core.Bounds{L: make([]float64, m+1), U: make([]float64, m+1)}
+	for i := 1; i <= m; i++ {
+		cb.L[i] = l
+		cb.U[i] = u
+	}
+	var times []time.Duration
+	for r := 0; r < repeats; r++ {
+		sess, err := core.NewSession(ci, cb, &core.Options{Engine: eng.Engine, Pricing: eng.Pricing})
+		if err != nil {
+			return 0, 0, err
+		}
+		newL := sess.Result().Delays[1] + 0.05*in.radius
+		newU := math.Max(u, newL)
+		if err := sess.Retighten(1, newL, newU); err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		if _, err := sess.Resolve(); err != nil {
+			return 0, 0, err
+		}
+		times = append(times, time.Since(t0))
+		if r == 0 {
+			pivots = sess.ResolvePivots()
+		}
+	}
+	return pivots, float64(medianDuration(times).Nanoseconds()) / 1e6, nil
+}
+
 // medianDuration returns the median timing sample without mutating d.
 // The contract, pinned by TestMedianDuration:
 //

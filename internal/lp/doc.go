@@ -24,13 +24,16 @@
 // The §4.6 row-generation loop in internal/core is written against the
 // RowEngine interface. Implementations guarantee:
 //
-//   - Rows are append-only. Once added, a row is never removed or
-//     relaxed, so infeasibility is monotone: after any Solve returns
-//     Infeasible, every later Solve returns Infeasible ("sticky").
-//   - Costs are fixed at construction and must be non-negative. This is
-//     what makes the all-nonbasic point dual-feasible, so the dual
-//     simplex needs no phase-1/artificial machinery and a re-solve after
-//     adding k violated rows typically takes O(k) pivots.
+//   - Through the RowEngine interface rows are append-only, so
+//     infeasibility is monotone along any AddRow/AddRangedRow/Solve
+//     sequence: after a Solve returns Infeasible, every later Solve
+//     returns Infeasible ("sticky") — until a restaging edit (below)
+//     relaxes or rewrites something, which clears the certificate.
+//   - Costs must be non-negative. This is what makes the all-nonbasic
+//     point dual-feasible, so the dual simplex needs no
+//     phase-1/artificial machinery and a re-solve after adding k
+//     violated rows typically takes O(k) pivots. Revised additionally
+//     allows SetCost between Solves (a restage; same sign constraint).
 //   - Solve is idempotent: calling it twice without interleaved AddRow /
 //     AddRangedRow returns the same solution without extra pivots.
 //   - Row counting: NumRows (and Stats().LogicalRows) counts rows as the
@@ -42,9 +45,39 @@
 //     the pair (TableauRows, LoweredTableauRows) measures the saving.
 //
 // Engines that additionally implement VarBounder (only Revised) accept
-// variable boxes lo ≤ xⱼ ≤ hi in place of single-variable rows; boxes are
-// construction-time state and panic if changed after the first Solve.
-// Callers type-assert and fall back to an explicit row otherwise.
+// variable boxes lo ≤ xⱼ ≤ hi in place of single-variable rows. Boxes
+// are restageable: SetVarBounds between Solves moves the box under the
+// kept basis and the next Solve repairs the primal values instead of
+// starting cold. Callers type-assert and fall back to an explicit row
+// otherwise.
+//
+// # Restaging (post-solve edits, Revised only)
+//
+// Beyond the append-only RowEngine surface, Revised supports in-place
+// edits between Solves, all preserving the basis membership:
+//
+//   - SetVarBounds / SetCost — bound boxes and objective coefficients
+//     never enter the basis matrix, so the factorization, eta file and
+//     pricing weights stay valid; the engine re-picks resting sides and
+//     repairs the basic values with one FTRAN (plus one BTRAN and a
+//     re-pricing pass when a BASIC variable's cost moves). Counted in
+//     Stats().Restages.
+//   - ReplaceRangedRow(k, terms, lo, hi) with the SAME stored pattern —
+//     the ECO retighten case: only the rhs and the slack box move,
+//     repaired like a bound edit. Also a Restage.
+//   - ReplaceRangedRow with a CHANGED pattern, and DeleteRow — a row of
+//     the basis matrix changes, so the factorization and eta file are
+//     invalidated and the next Solve refactorizes once from the kept
+//     basis (a row left empty with a nonbasic slack gets its slack
+//     forced basic to keep the basis nonsingular). Counted in
+//     Stats().RowReplacements. DeleteRow leaves a vacuous row behind so
+//     tableau indices stay stable; ReplaceRangedRow revives it.
+//
+// Every restaging edit clears a sticky Infeasible certificate. Both
+// counters stay 0 on cold solvers and on engines that were never
+// edited. DESIGN.md's "Restaging" section gives the per-edit
+// dual-feasibility arguments; internal/core builds the Elmore SLP's
+// persistent engine and the ECO Session on this machinery.
 //
 // # The bounded-variable (boxed) dual simplex
 //

@@ -241,7 +241,11 @@ type Traceable interface {
 // VarBounder is the optional RowEngine extension for engines that support
 // variable boxes natively: SetVarBounds(j, lo, hi) replaces what would
 // otherwise be a single-variable constraint row (lo = hi fixes the
-// variable — the forced-zero edges of the EBF degree splitting). Callers
+// variable — the forced-zero edges of the EBF degree splitting). Boxes
+// are restageable state: calling SetVarBounds again between Solves moves
+// the box under the kept basis and the next Solve repairs the primal
+// values from there (one FTRAN on the revised engine) instead of
+// starting cold — see the package doc's "Restaging" section. Callers
 // must type-assert and fall back to an explicit row when the engine does
 // not implement it.
 type VarBounder interface {

@@ -116,9 +116,12 @@ type Revised struct {
 	// Per-row slack box: slack of row k lives in [0, slackHi[k]].
 	// +∞ = plain ≤ row, finite = ranged row, 0 = equality. atUpperK marks
 	// the slack nonbasic at its upper bound (the row binding at its lower
-	// side l = b − slackHi).
+	// side l = b − slackHi). deadK marks rows removed by DeleteRow: they
+	// stay in the tableau as the vacuous 0·x + s = 0 so row indices remain
+	// stable, but count for nothing.
 	slackHi  []float64
 	atUpperK []bool
+	deadK    []bool
 
 	// Basis state. Positions 0…m−1 (one per row); basisVar[p] holds a
 	// variable id: structural j < nVars, or nVars+k for the slack of row k.
@@ -176,7 +179,7 @@ type Revised struct {
 	dirty          bool // rows/bounds changed since the last factorization
 	justRefactored bool
 	infeasible     bool
-	solved         bool // a Solve has run (gates SetVarBounds)
+	solved         bool // a Solve has run (gates SetPricing; bound/row/cost edits now restage)
 	iterations     int
 	logicalRows    int
 	rangedRows     int
@@ -242,9 +245,18 @@ func NewRevised(n int, objective []float64) *Revised {
 
 // SetVarBounds boxes structural variable j into [lo, hi] (lo = hi fixes
 // it; the EBF loop uses this for forced-zero edges from degree splitting).
-// It must be called before the first Solve — afterwards the basis state
-// would silently disagree with the new box — and panics otherwise, as it
-// does for lo > hi or an out-of-range variable.
+// Before the first Solve it is plain construction-time state. Afterwards
+// it RESTAGES the warm engine: variable boxes appear in neither the basis
+// matrix nor the objective, so the factorization, eta file and dual
+// solution all survive the edit exactly. A basic variable keeps its
+// position — if its value now violates the new box, the next Solve's
+// pricing loop sees the violation and prices it out through the regular
+// Devex/steepest framework. A nonbasic variable has its resting side
+// re-picked from its reduced cost (d > 0 → lower, d < 0 → upper, a fixed
+// box → lower) and the basic values are repaired with one FTRAN for the
+// resting-value delta. A sticky Infeasible certificate is cleared: the
+// edit may have restored feasibility. Panics for lo > hi, an out-of-range
+// variable, or a restage to a fully free (both-infinite) box.
 func (rv *Revised) SetVarBounds(j int, lo, hi float64) {
 	if j < 0 || j >= rv.nVars {
 		panic(fmt.Sprintf("lp: SetVarBounds on variable %d of %d", j, rv.nVars))
@@ -253,12 +265,244 @@ func (rv *Revised) SetVarBounds(j int, lo, hi float64) {
 		panic(fmt.Sprintf("lp: SetVarBounds var %d with empty box [%g, %g]", j, lo, hi))
 	}
 	if rv.solved {
-		panic("lp: SetVarBounds after the first Solve")
+		rv.restageVarBounds(j, lo, hi)
+		return
 	}
 	rv.loS[j] = lo
 	rv.hiS[j] = hi
 	rv.atUpperS[j] = false
 	rv.dirty = true // warm-seeded basic values may assume the old box
+}
+
+// restFor picks the resting side for a nonbasic variable with reduced
+// cost d and box [lo, hi], preferring the current side cur when d is
+// within tolerance. It reports the side and whether the variable was
+// forced onto a side its reduced cost is dual-infeasible on beyond
+// tolerance (the preferred bound was infinite); the caller then marks the
+// engine dirty so refactorize can clamp — or reset — per its drift rules.
+func restFor(d, dTol, lo, hi float64, cur bool) (atUpper, drifted bool) {
+	atUpper = cur
+	switch {
+	case lo == hi:
+		atUpper = false
+	case d > dTol:
+		atUpper = false
+	case d < -dTol:
+		atUpper = true
+	}
+	if atUpper && math.IsInf(hi, 1) {
+		atUpper = false
+	}
+	if !atUpper && math.IsInf(lo, -1) {
+		atUpper = true
+	}
+	if lo != hi {
+		drifted = (atUpper && d > dTol) || (!atUpper && d < -dTol)
+	}
+	return atUpper, drifted
+}
+
+// applyNonbasicDelta repairs the basic values after the resting value of
+// nonbasic variable id moved by delta: xB ← xB − B⁻¹A_id·Δ, one FTRAN.
+// When no valid factorization is on hand it marks the engine dirty
+// instead — the next Solve recomputes xB wholesale.
+func (rv *Revised) applyNonbasicDelta(id int, delta float64) {
+	if delta == 0 || math.IsNaN(delta) {
+		return
+	}
+	m := rv.rows.numRows()
+	if m == 0 {
+		return
+	}
+	if rv.dirty || (rv.lu == nil && len(rv.coreCols) > 0) || len(rv.baseVar) != m {
+		rv.dirty = true
+		return
+	}
+	u := grow(&rv.flipRowBuf, m)
+	for k := range u {
+		u[k] = 0
+	}
+	any := false
+	if id < rv.nVars {
+		for _, ce := range rv.rows.col(id) {
+			u[ce.row] = ce.coef * delta
+			any = true
+		}
+	} else {
+		u[id-rv.nVars] = delta
+		any = true
+	}
+	if !any {
+		return
+	}
+	z := grow(&rv.flipZBuf, m)
+	rv.ftran(u, z)
+	for p := 0; p < m; p++ {
+		rv.xB[p] -= z[p]
+	}
+}
+
+// restageVarBounds is the between-Solve path of SetVarBounds: see its doc
+// for the contract. Counted in Stats.Restages.
+func (rv *Revised) restageVarBounds(j int, lo, hi float64) {
+	rv.stats.Restages++
+	rv.infeasible = false
+	if rv.posOfStruct[j] >= 0 {
+		rv.loS[j] = lo
+		rv.hiS[j] = hi
+		return
+	}
+	if math.IsInf(lo, -1) && math.IsInf(hi, 1) {
+		panic(fmt.Sprintf("lp: SetVarBounds restaged var %d to a free (unbounded both sides) box", j))
+	}
+	oldRest := rv.structVal(j)
+	rv.loS[j] = lo
+	rv.hiS[j] = hi
+	atU, drifted := restFor(rv.dS[j], rv.dualTol(), lo, hi, rv.atUpperS[j])
+	rv.atUpperS[j] = atU
+	if drifted {
+		rv.dirty = true
+	}
+	rv.applyNonbasicDelta(j, rv.structVal(j)-oldRest)
+}
+
+// SetCost updates the objective coefficient of structural variable j.
+// Before the first Solve it simply rewrites the cost. Afterwards it
+// restages the warm engine: for a nonbasic variable the duals do not
+// depend on c_j, so only its own reduced cost shifts by Δc — possibly
+// flipping its resting side (one FTRAN). For a basic variable at position
+// p the whole dual vector shifts, y ← y + Δc·B⁻ᵀe_p (one BTRAN), every
+// nonbasic reduced cost is re-priced through one sparse pass, and
+// side-violating nonbasic variables are flipped in one batched FTRAN —
+// the same machinery the dual ratio test uses. Costs must stay
+// non-negative (the all-slack dual-feasibility invariant); panics
+// otherwise or for an out-of-range variable.
+func (rv *Revised) SetCost(j int, cost float64) {
+	if j < 0 || j >= rv.nVars {
+		panic(fmt.Sprintf("lp: SetCost on variable %d of %d", j, rv.nVars))
+	}
+	if cost < 0 || math.IsNaN(cost) {
+		panic(fmt.Sprintf("lp: Revised needs non-negative costs; var %d set to %g", j, cost))
+	}
+	delta := cost - rv.c[j]
+	rv.c[j] = cost
+	if !rv.solved {
+		rv.dS[j] = cost // no pivots yet: y = 0, so d_j = c_j
+		return
+	}
+	if delta == 0 {
+		return
+	}
+	rv.stats.Restages++
+	rv.infeasible = false
+	m := rv.rows.numRows()
+	p := int(rv.posOfStruct[j])
+	if p < 0 {
+		oldRest := rv.structVal(j)
+		d := rv.dS[j] + delta
+		rv.dS[j] = d
+		atU, drifted := restFor(d, rv.dualTol(), rv.loS[j], rv.hiS[j], rv.atUpperS[j])
+		if atU != rv.atUpperS[j] {
+			rv.atUpperS[j] = atU
+			rv.boundFlips++
+		}
+		if drifted {
+			rv.dirty = true
+		}
+		rv.applyNonbasicDelta(j, rv.structVal(j)-oldRest)
+		return
+	}
+	if rv.dirty || m == 0 || (rv.lu == nil && len(rv.coreCols) > 0) || len(rv.baseVar) != m {
+		rv.dirty = true
+		return
+	}
+	// Basic: shift the duals by Δc·B⁻ᵀe_p and re-price. d_j itself stays 0
+	// (ρ·A_j = 1 by definition of the basis), matching its basic status.
+	rho := grow(&rv.rhoBuf, m)
+	rv.btranPos(p, rho)
+	for jj := 0; jj < rv.nVars; jj++ {
+		rv.alpha[jj] = 0
+	}
+	for k := 0; k < m; k++ {
+		rk := rho[k]
+		if rk == 0 {
+			continue
+		}
+		rv.y[k] += delta * rk
+		ind, val := rv.rows.row(k)
+		for q, jj := range ind {
+			rv.alpha[jj] += val[q] * rk
+		}
+	}
+	dTol := rv.dualTol()
+	flipRow := grow(&rv.flipRowBuf, m)
+	for k := range flipRow {
+		flipRow[k] = 0
+	}
+	flips := 0
+	for jj := 0; jj < rv.nVars; jj++ {
+		if rv.posOfStruct[jj] >= 0 || rv.alpha[jj] == 0 {
+			continue
+		}
+		d := rv.dS[jj] - delta*rv.alpha[jj]
+		rv.dS[jj] = d
+		atU, drifted := restFor(d, dTol, rv.loS[jj], rv.hiS[jj], rv.atUpperS[jj])
+		if drifted {
+			rv.dirty = true
+		}
+		if atU == rv.atUpperS[jj] {
+			continue
+		}
+		// restFor only flips onto a finite bound, so the traversal below is
+		// finite whenever the box is sane; guard against a free box anyway.
+		width := rv.hiS[jj] - rv.loS[jj]
+		if math.IsInf(width, 1) {
+			rv.dirty = true
+			continue
+		}
+		rv.atUpperS[jj] = atU
+		dv := width
+		if !atU {
+			dv = -width
+		}
+		for _, ce := range rv.rows.col(jj) {
+			flipRow[ce.row] += ce.coef * dv
+		}
+		flips++
+	}
+	for k := 0; k < m; k++ {
+		if rv.posOfSlack[k] >= 0 || rho[k] == 0 {
+			continue
+		}
+		d := rv.dK[k] - delta*rho[k]
+		rv.dK[k] = d
+		atU, drifted := restFor(d, dTol, 0, rv.slackHi[k], rv.atUpperK[k])
+		if drifted {
+			rv.dirty = true
+		}
+		if atU == rv.atUpperK[k] {
+			continue
+		}
+		if math.IsInf(rv.slackHi[k], 1) {
+			rv.dirty = true
+			continue
+		}
+		rv.atUpperK[k] = atU
+		dv := rv.slackHi[k]
+		if !atU {
+			dv = -dv
+		}
+		flipRow[k] += dv
+		flips++
+	}
+	if flips > 0 {
+		z := grow(&rv.flipZBuf, m)
+		rv.ftran(flipRow, z)
+		for q := 0; q < m; q++ {
+			rv.xB[q] -= z[q]
+		}
+		rv.boundFlips += flips
+	}
 }
 
 // NumRows returns the number of logical constraint rows added via AddRow
@@ -313,10 +557,11 @@ func (rv *Revised) Stats() Stats {
 // (the default) records nothing at zero cost.
 func (rv *Revised) SetTracer(tr *obs.Tracer) { rv.tr = tr }
 
-// SetPricing selects the leaving-row rule (see Pricing). Like
-// SetVarBounds it is construction-time state: calling it after the first
-// Solve panics, because the reference weights would not match the pivots
-// already taken.
+// SetPricing selects the leaving-row rule (see Pricing). Unlike bounds,
+// costs and rows — which restage between Solves — the pricing rule is
+// construction-time state: calling it after the first Solve panics,
+// because the reference weights would not match the pivots already
+// taken.
 func (rv *Revised) SetPricing(p Pricing) {
 	if rv.solved {
 		panic("lp: SetPricing after the first Solve")
@@ -501,6 +746,168 @@ func (rv *Revised) AddRangedRow(terms []Term, lo, hi float64) {
 	}
 }
 
+// rowContrib returns tableau row k's contribution to the lowered-row and
+// ranged-row counters: (0, 0) for a deleted row, (1, 0) for a one-sided
+// row, (2, 1) for a ranged or exact row (what the two-row lowering would
+// need). Used to keep the counters consistent across row rewrites.
+func (rv *Revised) rowContrib(k int) (lowered, ranged int) {
+	if rv.deadK[k] {
+		return 0, 0
+	}
+	if math.IsInf(rv.slackHi[k], 1) {
+		return 1, 0
+	}
+	return 2, 1
+}
+
+// forceSlackBasic makes row k's slack basic at position k, kicking the
+// position's current occupant to a resting bound. Needed when a row
+// rewrite leaves row k with no stored nonzeros while its slack is
+// nonbasic: row k of the basis matrix would then be identically zero
+// (singular). The kicked variable leaves with reduced cost 0, which is
+// dual-feasible at either bound; the engine is marked dirty so the next
+// Solve refactorizes from the repaired basis.
+func (rv *Revised) forceSlackBasic(k int) {
+	v := rv.basisVar[k]
+	if v == rv.nVars+k {
+		return
+	}
+	if v < rv.nVars {
+		rv.posOfStruct[v] = -1
+		rv.atUpperS[v] = math.IsInf(rv.loS[v], -1) // rest at the finite side
+		rv.dS[v] = 0
+	} else {
+		k2 := v - rv.nVars
+		rv.posOfSlack[k2] = -1
+		rv.atUpperK[k2] = false
+		rv.dK[k2] = 0
+	}
+	rv.basisVar[k] = rv.nVars + k
+	rv.posOfSlack[k] = int32(k)
+	rv.atUpperK[k] = false
+	rv.dK[k] = 0
+	rv.dirty = true
+}
+
+// ReplaceRangedRow rewrites tableau row k in place as lo ≤ Σ terms ≤ hi
+// (either side may be infinite; both-infinite is a deletion — use
+// DeleteRow). Row k is a TABLEAU index, i.e. what TableauRows counted when
+// the row was added; replacing a row deleted by DeleteRow revives it.
+//
+// Eta invalidation: when the stored coefficient pattern actually changes,
+// a row of the basis matrix changes with it, so the factorization and eta
+// file are stale — the engine is marked dirty and the next Solve
+// refactorizes once (the basis MEMBERSHIP survives, which is what keeps
+// the warm pivot count low). When only the right-hand side / window moves
+// (same terms — the ECO retighten case), nothing the factorization
+// depends on changed: the slack's resting side is re-picked from its
+// reduced cost and the basic values are repaired with one FTRAN, counted
+// as a Restage rather than a RowReplacement. Either way a sticky
+// Infeasible certificate is cleared. Panics on an out-of-range row or an
+// empty window.
+func (rv *Revised) ReplaceRangedRow(k int, terms []Term, lo, hi float64) {
+	if k < 0 || k >= rv.rows.numRows() {
+		panic(fmt.Sprintf("lp: ReplaceRangedRow on row %d of %d", k, rv.rows.numRows()))
+	}
+	if lo > hi || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: ReplaceRangedRow row %d with empty window [%g, %g]", k, lo, hi))
+	}
+	infLo, infHi := math.IsInf(lo, -1), math.IsInf(hi, 1)
+	if infLo && infHi {
+		panic(fmt.Sprintf("lp: ReplaceRangedRow row %d with a vacuous window; use DeleteRow", k))
+	}
+	var sign, rhs, sHi float64
+	switch {
+	case infLo:
+		sign, rhs, sHi = 1, hi, math.Inf(1)
+	case infHi:
+		sign, rhs, sHi = -1, lo, math.Inf(1)
+	default:
+		sign, rhs, sHi = 1, hi, hi-lo
+	}
+	oldLow, oldRng := rv.rowContrib(k)
+	if rv.deadK[k] {
+		rv.deadK[k] = false
+		rv.logicalRows++
+	}
+	rhsOld := rv.rows.rhs[k]
+	changed := rv.rows.replaceRow(k, terms, rhs, sign)
+	rv.infeasible = false
+	if changed {
+		rv.stats.RowReplacements++
+		rv.slackHi[k] = sHi
+		if rv.posOfSlack[k] < 0 {
+			if ind, _ := rv.rows.row(k); len(ind) == 0 {
+				rv.forceSlackBasic(k)
+			} else if rv.atUpperK[k] && math.IsInf(sHi, 1) {
+				rv.atUpperK[k] = false
+			}
+		}
+		rv.dirty = true
+	} else {
+		// Same pattern: only b and the slack box moved — neither enters the
+		// basis matrix, so the factorization, eta file, duals and reference
+		// weights all stay valid. Repair xB with one FTRAN and let the next
+		// Solve re-enter the dual loop directly.
+		rv.stats.Restages++
+		delta := rv.rows.rhs[k] - rhsOld
+		if rv.posOfSlack[k] < 0 {
+			oldRest := rv.nbSlackVal(k)
+			rv.slackHi[k] = sHi
+			atU, drifted := restFor(rv.dK[k], rv.dualTol(), 0, sHi, rv.atUpperK[k])
+			rv.atUpperK[k] = atU
+			if drifted {
+				rv.dirty = true
+			}
+			delta -= rv.nbSlackVal(k) - oldRest
+		} else {
+			rv.slackHi[k] = sHi
+		}
+		// xB ← xB + B⁻¹e_k·δ, expressed through the generic nonbasic-delta
+		// repair on the slack column (A_{n+k} = e_k) with Δ = −δ.
+		rv.applyNonbasicDelta(rv.nVars+k, -delta)
+	}
+	newLow, newRng := rv.rowContrib(k)
+	rv.loweredRows += newLow - oldLow
+	rv.rangedRows += newRng - oldRng
+}
+
+// DeleteRow removes tableau row k: the stored row is rewritten to the
+// vacuous 0·x + s = 0 with a free slack, which every basis trivially
+// satisfies, so downstream tableau row indices stay stable. The row's
+// slack is forced into the basis when nonbasic (an empty row with a
+// nonbasic slack would make the basis matrix singular). Deleting a row
+// only relaxes the problem, so a sticky Infeasible certificate is
+// cleared. Panics on an out-of-range or already-deleted row;
+// ReplaceRangedRow revives a deleted row.
+func (rv *Revised) DeleteRow(k int) {
+	if k < 0 || k >= rv.rows.numRows() {
+		panic(fmt.Sprintf("lp: DeleteRow on row %d of %d", k, rv.rows.numRows()))
+	}
+	if rv.deadK[k] {
+		panic(fmt.Sprintf("lp: DeleteRow on already-deleted row %d", k))
+	}
+	oldLow, oldRng := rv.rowContrib(k)
+	rhsOld := rv.rows.rhs[k]
+	changed := rv.rows.replaceRow(k, nil, 0, 1)
+	rv.deadK[k] = true
+	rv.logicalRows--
+	rv.slackHi[k] = math.Inf(1)
+	rv.stats.RowReplacements++
+	rv.infeasible = false
+	if rv.posOfSlack[k] < 0 {
+		rv.forceSlackBasic(k)
+	}
+	rv.atUpperK[k] = false
+	if changed {
+		rv.dirty = true
+	} else {
+		rv.applyNonbasicDelta(rv.nVars+k, rhsOld) // rhs moved to 0: δ = −rhsOld
+	}
+	rv.loweredRows -= oldLow
+	rv.rangedRows -= oldRng
+}
+
 // addLE appends the row sign·(Σ terms) ≤ sign·rhs with the slack boxed
 // into [0, sHi].
 func (rv *Revised) addLE(terms []Term, rhs float64, sign float64, sHi float64) {
@@ -511,6 +918,7 @@ func (rv *Revised) addLE(terms []Term, rhs float64, sign float64, sHi float64) {
 	rv.posOfSlack = append(rv.posOfSlack, int32(k))
 	rv.slackHi = append(rv.slackHi, sHi)
 	rv.atUpperK = append(rv.atUpperK, false)
+	rv.deadK = append(rv.deadK, false)
 	rv.xB = append(rv.xB, 0)
 	rv.y = append(rv.y, 0)
 	rv.dK = append(rv.dK, 0)

@@ -68,6 +68,15 @@ type Stats struct {
 	// test (flips are not pivots: they cost one shared FTRAN per batch).
 	RangedRows int
 	BoundFlips int
+	// Restages counts between-Solve edits the revised engine absorbed while
+	// keeping its basis warm: SetVarBounds and SetCost calls after the first
+	// Solve, plus the rhs-only fast path of ReplaceRangedRow.
+	// RowReplacements counts ReplaceRangedRow/DeleteRow calls that rewrote a
+	// stored row. Together they are the ECO health gauges: a re-solve after
+	// R restages that still needs near-cold pivot counts signals the warm
+	// basis is not being reused.
+	Restages        int
+	RowReplacements int
 	// PricingScheme is the leaving-row rule the revised engine ran with
 	// ("devex", "most-violated" or "steepest-exact"; empty on the other
 	// engines). DevexResets counts Devex reference-framework restarts
@@ -114,6 +123,8 @@ func (s *Stats) Merge(other Stats) {
 	s.Refactorizations += other.Refactorizations
 	s.Resets += other.Resets
 	s.BoundFlips += other.BoundFlips
+	s.Restages += other.Restages
+	s.RowReplacements += other.RowReplacements
 	s.DevexResets += other.DevexResets
 	if other.PricingScheme != "" {
 		s.PricingScheme = other.PricingScheme
@@ -186,6 +197,9 @@ func (s Stats) String() string {
 		s.LogicalRows, s.TableauRows, s.LoweredTableauRows, s.RangedRows, s.RowNonzeros, s.Rounds)
 	fmt.Fprintf(&b, "eta-len %d  residual %.3g  pivot-el [%.3g, %.3g]\n",
 		s.EtaLen, s.NumericalResidual, s.PivotMin, s.PivotMax)
+	if s.Restages > 0 || s.RowReplacements > 0 {
+		fmt.Fprintf(&b, "restages %d  row-replacements %d\n", s.Restages, s.RowReplacements)
+	}
 	if s.PricingScheme != "" {
 		fmt.Fprintf(&b, "pricing %s  devex-resets %d  weights [%.3g, %.3g]\n",
 			s.PricingScheme, s.DevexResets, s.WeightMin, s.WeightMax)

@@ -31,6 +31,17 @@ func findSpan(sp *traceSpan, name string) *traceSpan {
 	return nil
 }
 
+func findAllSpans(sp *traceSpan, name string) []*traceSpan {
+	var out []*traceSpan
+	if sp.Name == name {
+		out = append(out, sp)
+	}
+	for i := range sp.Children {
+		out = append(out, findAllSpans(&sp.Children[i], name)...)
+	}
+	return out
+}
+
 // TestSolveTraceGolden drives the public API with tracing on and pins the
 // emitted document: schema string, the span hierarchy of a linear-delay
 // solve (solve → ebf → round → {lp-solve, separation} and solve → embed →
@@ -109,7 +120,9 @@ func TestSolveTraceGolden(t *testing.T) {
 }
 
 // TestSolveElmoreTrace checks the Elmore path's root span and per-SLP
-// iteration children.
+// iteration children, and pins the slp-iter restaging attributes: each
+// span wraps one restage + warm solve of the persistent engine, so it
+// must carry the per-iteration pivot, restage and row-replacement deltas.
 func TestSolveElmoreTrace(t *testing.T) {
 	rng := rand.New(rand.NewSource(78))
 	sinks := randPoints(rng, 8)
@@ -120,8 +133,15 @@ func TestSolveElmoreTrace(t *testing.T) {
 	if err := inst.UseSkewGuidedTopology(10); err != nil {
 		t.Fatal(err)
 	}
+	// First find the unconstrained Elmore delay spread, then force a real
+	// multi-iteration SLP with a two-sided window above it.
+	probe, err := inst.SolveElmore(Uniform(8, 0, 1e9), 0.1, 0.2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := probe.MaxDelay
 	var buf bytes.Buffer
-	tree, err := inst.SolveElmore(Uniform(8, 0, 1e9), 0.1, 0.2, nil, &Options{TraceJSON: &buf})
+	tree, err := inst.SolveElmore(Uniform(8, worst, 3*worst), 0.1, 0.2, nil, &Options{TraceJSON: &buf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,9 +160,103 @@ func TestSolveElmoreTrace(t *testing.T) {
 			t.Errorf("span %q missing from Elmore trace", name)
 		}
 	}
-	// The merged SLP stats are surfaced on the tree.
+	iters := findAllSpans(&doc.Root, "slp-iter")
+	if len(iters) < 2 {
+		t.Fatalf("%d slp-iter spans; the window should take several iterations", len(iters))
+	}
+	totalRestages := 0.0
+	for i, sp := range iters {
+		for _, attr := range []string{"iter", "rows", "pivots", "restages", "row_replacements", "tau"} {
+			v, ok := sp.Attrs[attr]
+			if !ok {
+				t.Fatalf("slp-iter %d lacks attr %q (attrs %v)", i, attr, sp.Attrs)
+			}
+			if _, isNum := v.(float64); !isNum {
+				t.Fatalf("slp-iter %d attr %q not numeric: %T", i, attr, v)
+			}
+		}
+		if s, ok := sp.Attrs["status"]; !ok || s != "optimal" {
+			t.Errorf("slp-iter %d status attr = %v", i, s)
+		}
+		totalRestages += sp.Attrs["restages"].(float64)
+	}
+	// The first iteration stages the engine cold; later ones restage the
+	// trust boxes inside the span — so the spans must witness restaging.
+	if iters[0].Attrs["restages"].(float64) != 0 {
+		t.Errorf("first slp-iter restaged %v times before the first solve", iters[0].Attrs["restages"])
+	}
+	if totalRestages == 0 {
+		t.Error("no slp-iter span recorded a restage — spans are not wrapping the warm path")
+	}
+	// The merged SLP stats are surfaced on the tree, restages included.
 	if tree.Stats.LPIterations <= 0 || tree.Stats.Rounds <= 0 {
 		t.Errorf("Elmore tree stats empty: %+v", tree.Stats)
+	}
+	if tree.Stats.Restages != int(totalRestages) {
+		t.Errorf("tree stats restages %d != Σ slp-iter attrs %v", tree.Stats.Restages, totalRestages)
+	}
+	if tree.Stats.DevexResets < 0 {
+		t.Errorf("DevexResets went negative across restages: %d", tree.Stats.DevexResets)
+	}
+}
+
+// TestSolveECOTrace drives the ECO facade with tracing on: the session's
+// warm re-solve must appear as an eco-resolve span carrying the warm
+// pivot count.
+func TestSolveECOTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	sinks := randPoints(rng, 10)
+	inst, err := NewInstance(sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.UseSkewGuidedTopology(10); err != nil {
+		t.Fatal(err)
+	}
+	r := inst.Radius()
+	var buf bytes.Buffer
+	solved, err := inst.SolveECO(Uniform(10, 0.8*r, 1.3*r), &Options{TraceJSON: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := solved.Tree()
+	newL := first.SinkDelays[0] + 0.05*r
+	if err := solved.Retighten(0, newL, newL+0.5*r); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := solved.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats.Restages == 0 {
+		t.Errorf("retighten+resolve recorded no restage: %+v", tree.Stats)
+	}
+	if err := solved.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string    `json:"schema"`
+		Root   traceSpan `json:"root"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Name != "solve-eco" {
+		t.Fatalf("root span %q, want solve-eco", doc.Root.Name)
+	}
+	eco := findSpan(&doc.Root, "eco-resolve")
+	if eco == nil {
+		t.Fatal("eco-resolve span missing from trace")
+	}
+	p, ok := eco.Attrs["pivots"]
+	if !ok {
+		t.Fatalf("eco-resolve span lacks pivots attr: %v", eco.Attrs)
+	}
+	if pf, isNum := p.(float64); !isNum || int(pf) != solved.ResolvePivots() {
+		t.Errorf("eco-resolve pivots attr %v != ResolvePivots %d", p, solved.ResolvePivots())
 	}
 }
 

@@ -81,6 +81,12 @@ type SolveStats struct {
 	// boxed dual ratio test (cheaper than pivots: one shared FTRAN per
 	// batch).
 	BoundFlips int
+	// Restages counts post-solve edits the engine absorbed without
+	// refactorizing (bound boxes, costs, rhs-only row retightens);
+	// RowReplacements counts structural row rewrites (coefficient pattern
+	// changes, deletions, revivals). Both stay 0 on cold solvers.
+	Restages        int
+	RowReplacements int
 	// PricingScheme names the leaving-row rule the revised engine ran
 	// with ("devex", "most-violated", "steepest-exact"; empty for the
 	// other solvers). DevexResets counts Devex reference-framework
@@ -120,6 +126,9 @@ func (s SolveStats) String() string {
 		s.LogicalRows, s.TableauRows, s.LoweredTableauRows, s.RangedRows, s.RowNonzeros)
 	fmt.Fprintf(&b, "refactorizations %d  basis %d  fill-in %d  resets %d  bound-flips %d\n",
 		s.Refactorizations, s.BasisSize, s.FillIn, s.Resets, s.BoundFlips)
+	if s.Restages > 0 || s.RowReplacements > 0 {
+		fmt.Fprintf(&b, "restages %d  row-replacements %d\n", s.Restages, s.RowReplacements)
+	}
 	fmt.Fprintf(&b, "eta-len %d  residual %.3g  pivot-el [%.3g, %.3g]\n",
 		s.EtaLen, s.NumericalResidual, s.PivotMin, s.PivotMax)
 	if s.PricingScheme != "" {
@@ -162,6 +171,8 @@ func solveStatsFromLP(st lp.Stats) SolveStats {
 		RangedRows:         st.RangedRows,
 		RowNonzeros:        st.RowNonzeros,
 		BoundFlips:         st.BoundFlips,
+		Restages:           st.Restages,
+		RowReplacements:    st.RowReplacements,
 		PricingScheme:      st.PricingScheme,
 		DevexResets:        st.DevexResets,
 		WeightMin:          st.WeightMin,
