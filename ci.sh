@@ -64,4 +64,63 @@ for bench in prim1-s r4-s; do
 	LUBT_BENCH_JSON="$bench_json" go test -run 'TestBenchJSONFile|TestBenchJSONPivotGate|TestBenchJSONEcoGate' ./internal/experiments
 done
 
+echo "== lubtd smoke (live daemon: cold solve, warm eco, lubtd-metrics/1 scrape)"
+# Start the daemon on an ephemeral port, send one cold /solve and one
+# warm /eco on the returned key, scrape /metrics and validate the
+# document the same way the bench smoke validates lubt-bench/1 records
+# (TestMetricsJSONFile also asserts cache_hits >= 1 — the warm path was
+# actually taken). TestAPIDocRoutes gates that docs/API.md documents
+# every registered route and metric name.
+go build -o "$tmp/lubtd" ./cmd/lubtd
+"$tmp/lubtd" -addr 127.0.0.1:18080 -workers 2 -cache 4 >"$tmp/lubtd.log" 2>&1 &
+lubtd_pid=$!
+trap 'kill "$lubtd_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+for i in $(seq 1 50); do
+	if curl -sf http://127.0.0.1:18080/healthz >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.1
+done
+curl -sf http://127.0.0.1:18080/healthz >/dev/null || {
+	echo "ci: lubtd never became healthy" >&2
+	cat "$tmp/lubtd.log" >&2
+	exit 1
+}
+cat >"$tmp/solve.json" <<'EOF'
+{
+  "sinks": [{"x": 120, "y": 400}, {"x": 610, "y": 220}, {"x": 350, "y": 700},
+            {"x": 80, "y": 90}, {"x": 520, "y": 530}, {"x": 260, "y": 310}],
+  "source": {"x": 0, "y": 0},
+  "normalized": true,
+  "lower_all": 0.9
+}
+EOF
+curl -sf -o "$tmp/solve_out.json" --data-binary @"$tmp/solve.json" http://127.0.0.1:18080/solve || {
+	echo "ci: lubtd /solve failed" >&2
+	cat "$tmp/lubtd.log" >&2
+	exit 1
+}
+key=$(sed -n 's/.*"key": *"\([^"]*\)".*/\1/p' "$tmp/solve_out.json" | head -1)
+if [ -z "$key" ]; then
+	echo "ci: lubtd /solve response carries no key" >&2
+	cat "$tmp/solve_out.json" >&2
+	exit 1
+fi
+printf '{"key": "%s", "retighten": [{"sink": 0, "lower": 0, "upper": 0}]}' "$key" >"$tmp/eco.json"
+curl -sf -o "$tmp/eco_out.json" --data-binary @"$tmp/eco.json" http://127.0.0.1:18080/eco || {
+	echo "ci: lubtd /eco failed" >&2
+	cat "$tmp/lubtd.log" >&2
+	exit 1
+}
+grep -q '"cache": *"hit"' "$tmp/eco_out.json" || {
+	echo "ci: lubtd /eco was not served from the warm session" >&2
+	cat "$tmp/eco_out.json" >&2
+	exit 1
+}
+curl -sf -o "$tmp/metrics.json" http://127.0.0.1:18080/metrics
+kill "$lubtd_pid"
+wait "$lubtd_pid" 2>/dev/null || true
+trap 'rm -rf "$tmp"' EXIT
+LUBTD_METRICS_JSON="$tmp/metrics.json" go test -run 'TestMetricsJSONFile|TestAPIDocRoutes' ./internal/serve
+
 echo "ci: ok"

@@ -1,0 +1,85 @@
+// Command lubtd serves the lubt solver over HTTP/JSON: POST instances to
+// /solve, targeted warm edits to /eco, scrape /metrics. Requests that
+// share a topology (same sinks, source, resolved parent vector and
+// pricing rule) but differ in delay windows or edge weights hit a cached
+// warm LP session and re-solve in a handful of dual pivots instead of a
+// cold solve.
+//
+// Usage:
+//
+//	lubtd                      # listen on :8080
+//	lubtd -addr 127.0.0.1:9090
+//	lubtd -workers 4 -cache 16 # 4 concurrent solves, 16 warm sessions
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight solves (up to -drain), closes every warm session and exits.
+// The wire contract is documented in docs/API.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lubt/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", serve.DefaultCacheSize, "warm-basis session cache capacity (LRU entries)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight solves")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "lubtd takes no positional arguments")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := serve.Config{Workers: *workers, CacheSize: *cacheSize}
+	if err := run(ctx, cfg, *addr, *drain, nil); err != nil {
+		log.Fatalf("lubtd: %v", err)
+	}
+}
+
+// run brings the daemon up on addr and blocks until ctx is canceled,
+// then drains and tears down. When ready is non-nil, the bound address
+// is sent once the listener is accepting (the main_test hook — it also
+// lets tests pass addr ":0").
+func run(ctx context.Context, cfg serve.Config, addr string, drain time.Duration, ready chan<- string) error {
+	srv := serve.New(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	log.Printf("lubtd: listening on %s (workers, cache in /metrics)", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("lubtd: shutting down, draining in-flight solves")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

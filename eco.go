@@ -83,6 +83,19 @@ func (s *Solved) rebuildTree() error {
 // successful Resolve).
 func (s *Solved) Tree() *Tree { return s.tree }
 
+// Bounds returns a copy of the session's current delay windows, indexed
+// like the input sink slice (0-based). After Retighten edits it reflects
+// the staged windows even before the next Resolve — callers diffing a
+// requested window set against the session state (the lubtd warm-basis
+// cache) see exactly what the engine has been told so far.
+func (s *Solved) Bounds() Bounds {
+	cb := s.sess.Bounds()
+	return Bounds{
+		Lower: append([]float64(nil), cb.L[1:]...),
+		Upper: append([]float64(nil), cb.U[1:]...),
+	}
+}
+
 // Retighten replaces sink i's delay window with [l, u] (sink indexed like
 // the input slice, 0-based) and restages the engine in place. The edit
 // takes effect at the next Resolve.

@@ -233,23 +233,43 @@ func CheckPivotGate(rec BenchRecord) error {
 	return nil
 }
 
+// WarmPivotDivisor is the warm-restart budget shared by every warm-vs-
+// cold gate in the harness: a warm re-solve from a kept basis must take
+// fewer than 1/WarmPivotDivisor (25%) of the cold solve's dual pivots.
+// CheckEcoGate applies it to the lubtbench ECO probe; the lubtd service
+// tests (internal/serve) apply it to cache-hit re-solves through
+// CheckWarmPivots, so the CLI probe and the daemon share one threshold.
+const WarmPivotDivisor = 4
+
+// CheckWarmPivots enforces the WarmPivotDivisor budget on one measured
+// warm/cold pivot pair; label names the probe in the error. A
+// non-positive cold count passes vacuously (nothing was measured).
+func CheckWarmPivots(label string, warm, cold int) error {
+	if cold <= 0 {
+		return nil
+	}
+	if warm*WarmPivotDivisor >= cold {
+		return fmt.Errorf("%s: warm re-solve took %d pivots vs %d cold (≥%d%%) — restaging is not keeping the basis warm",
+			label, warm, cold, 100/WarmPivotDivisor)
+	}
+	return nil
+}
+
 // CheckEcoGate enforces the warm-restart regression gate behind ci.sh's
 // ECO smoke: on a record whose "revised" row carries a measured ECO probe
 // (EcoResolveMS > 0), the warm re-solve after the single-sink retighten
-// must take fewer than 25% of the cold solve's dual pivots — restaging
-// exists to make local edits cheap, so a warm count near the cold one
-// means the basis or factorization is being thrown away on edit. Records
-// without a probe (hand-built ones, non-revised-only lineups) pass
-// vacuously.
+// must pass CheckWarmPivots against the cold solve — restaging exists to
+// make local edits cheap, so a warm count near the cold one means the
+// basis or factorization is being thrown away on edit. Records without a
+// probe (hand-built ones, non-revised-only lineups) pass vacuously.
 func CheckEcoGate(rec BenchRecord) error {
 	for i := range rec.Engines {
 		e := &rec.Engines[i]
-		if e.Engine != "revised" || e.EcoResolveMS <= 0 || e.Pivots <= 0 {
+		if e.Engine != "revised" || e.EcoResolveMS <= 0 {
 			continue
 		}
-		if e.EcoPivots*4 >= e.Pivots {
-			return fmt.Errorf("eco gate: %s: warm re-solve took %d pivots vs %d cold (≥25%%) — restaging is not keeping the basis warm",
-				rec.Bench, e.EcoPivots, e.Pivots)
+		if err := CheckWarmPivots("eco gate: "+rec.Bench, e.EcoPivots, e.Pivots); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -254,6 +254,34 @@ func TestCheckEcoGate(t *testing.T) {
 	}
 }
 
+// TestCheckWarmPivots pins the shared warm-restart budget's decision
+// table — the threshold both the lubtbench ECO gate and the lubtd
+// service tests enforce.
+func TestCheckWarmPivots(t *testing.T) {
+	cases := []struct {
+		name       string
+		warm, cold int
+		wantErr    bool
+	}{
+		{"well under budget", 11, 1665, false},
+		{"just under 25%", 24, 100, false},
+		{"exactly 25%", 25, 100, true},
+		{"over budget", 99, 100, true},
+		{"warm equals cold", 100, 100, true},
+		{"zero warm", 0, 1, false},
+		{"boundary 1 of 4", 1, 4, true},
+		{"1 of 5", 1, 5, false},
+		{"nothing measured", 7, 0, false},
+		{"negative cold", 7, -3, false},
+	}
+	for _, c := range cases {
+		err := CheckWarmPivots(c.name, c.warm, c.cold)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: warm=%d cold=%d: err=%v, wantErr=%v", c.name, c.warm, c.cold, err, c.wantErr)
+		}
+	}
+}
+
 // TestCheckPivotGate exercises the gate's decision table on hand-built
 // records.
 func TestCheckPivotGate(t *testing.T) {

@@ -1,6 +1,7 @@
 // Package obs is the observability layer of the LUBT pipeline:
 // hierarchical wall-clock spans with attached attributes, pprof phase
-// labels, and a stable JSON emission format.
+// labels, a process-wide counter/gauge registry for the serving daemon,
+// and stable JSON emission formats for both.
 //
 // # Span model
 //
@@ -64,4 +65,26 @@
 // the optional attrs/children); new information is added as attributes,
 // never as new keys, so downstream consumers can rely on the shape.
 // TestTraceJSONSchema locks this contract.
+//
+// # Metrics (lubtd-metrics/1)
+//
+// Where a Tracer describes ONE solve, a Metrics registry aggregates
+// ACROSS solves — the counters behind the lubtd daemon's /metrics
+// endpoint (internal/serve). Counters are monotone (requests, cache
+// hits/misses/evictions, warm/cold pivot totals); gauges carry a
+// current value (in-flight solves, cache size, worker-pool width).
+// Metrics is safe for concurrent use and follows the same disabled-nil
+// contract as Tracer: every method on a nil *Metrics is a no-op read
+// of zero. Metrics.WriteJSON emits
+//
+//	{
+//	  "schema": "lubtd-metrics/1",
+//	  "counters": {"cache_hits": 12, ...},
+//	  "gauges":   {"inflight": 0, ...}
+//	}
+//
+// The document's key set is fixed at those three keys; counter and
+// gauge NAMES are append-only within the major version. The serving
+// name set and its validator live in internal/serve
+// (ValidateMetricsJSON); docs/API.md documents the wire contract.
 package obs

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MetricsSchema identifies the JSON layout emitted by Metrics.WriteJSON;
+// bump it when the document's key set changes (new counter or gauge
+// names do not count — the name sets are append-only by design, like the
+// lubt-bench/1 engine fields).
+const MetricsSchema = "lubtd-metrics/1"
+
+// Metrics is a concurrency-safe registry of named monotone counters and
+// free-running gauges — the serving-side companion of the per-solve
+// lp.Stats spine. Counters only ever increase (requests, cache hits,
+// pivot totals); gauges hold a current value (in-flight solves, cache
+// size). A nil *Metrics is the disabled registry: every write is a
+// no-op and every read returns zero, mirroring the nil *Tracer contract.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]int64
+}
+
+// NewMetrics returns an empty enabled registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]int64),
+	}
+}
+
+// Add increments counter name by delta. Counters are monotone: a
+// negative delta panics (it indicates a bookkeeping bug, not load).
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("obs: negative delta %d for counter %q", delta, name))
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Inc is Add(name, 1).
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Counter returns the current value of a counter (0 if never written).
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// SetGauge sets gauge name to v.
+func (m *Metrics) SetGauge(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// AddGauge moves gauge name by delta (either sign); use for in-flight
+// style up/down tracking.
+func (m *Metrics) AddGauge(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] += delta
+	m.mu.Unlock()
+}
+
+// Gauge returns the current value of a gauge (0 if never written).
+func (m *Metrics) Gauge(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// Snapshot returns independent copies of the counter and gauge maps —
+// a consistent point-in-time view (both maps are copied under one lock).
+func (m *Metrics) Snapshot() (counters, gauges map[string]int64) {
+	counters = map[string]int64{}
+	gauges = map[string]int64{}
+	if m == nil {
+		return counters, gauges
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	return counters, gauges
+}
+
+// metricsJSON is the serialized registry (schema lubtd-metrics/1).
+type metricsJSON struct {
+	Schema   string           `json:"schema"`
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+}
+
+// WriteJSON writes the registry as an indented lubtd-metrics/1 document
+// (encoding/json sorts the map keys, so output is deterministic for a
+// given state). Calling it on a nil registry is an error: the caller
+// asked to emit metrics that were never recorded.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		return fmt.Errorf("obs: WriteJSON on a disabled metrics registry")
+	}
+	counters, gauges := m.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(metricsJSON{Schema: MetricsSchema, Counters: counters, Gauges: gauges})
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestMetricsCountersAndGauges(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("requests_total")
+	m.Add("requests_total", 2)
+	if got := m.Counter("requests_total"); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if got := m.Counter("never_written"); got != 0 {
+		t.Fatalf("unwritten counter = %d, want 0", got)
+	}
+	m.SetGauge("inflight", 5)
+	m.AddGauge("inflight", -2)
+	if got := m.Gauge("inflight"); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestMetricsNegativeCounterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with negative delta did not panic")
+		}
+	}()
+	NewMetrics().Add("x", -1)
+}
+
+// TestMetricsNilNoOps pins the nil-registry contract: writes are no-ops,
+// reads return zero, WriteJSON refuses.
+func TestMetricsNilNoOps(t *testing.T) {
+	var m *Metrics
+	m.Inc("a")
+	m.Add("a", 7)
+	m.SetGauge("g", 1)
+	m.AddGauge("g", 1)
+	if m.Counter("a") != 0 || m.Gauge("g") != 0 {
+		t.Fatal("nil registry returned nonzero values")
+	}
+	c, g := m.Snapshot()
+	if len(c) != 0 || len(g) != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+	if err := m.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteJSON on nil registry did not error")
+	}
+}
+
+func TestMetricsSnapshotIsACopy(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("a")
+	c, g := m.Snapshot()
+	c["a"] = 99
+	g["x"] = 1
+	if m.Counter("a") != 1 || m.Gauge("x") != 0 {
+		t.Fatal("snapshot aliases the live maps")
+	}
+}
+
+func TestMetricsWriteJSONSchema(t *testing.T) {
+	m := NewMetrics()
+	m.Add("cache_hits", 4)
+	m.SetGauge("workers", 8)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema   string           `json:"schema"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("document has unexpected keys: %v", err)
+	}
+	if doc.Schema != MetricsSchema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, MetricsSchema)
+	}
+	if doc.Counters["cache_hits"] != 4 || doc.Gauges["workers"] != 8 {
+		t.Fatalf("document values wrong: %+v", doc)
+	}
+}
+
+// TestMetricsConcurrent hammers the registry from many goroutines; run
+// under -race (ci.sh does) this pins the locking.
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Inc("n")
+				m.AddGauge("g", 1)
+				m.AddGauge("g", -1)
+				_ = m.Counter("n")
+				_, _ = m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("n"); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := m.Gauge("g"); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+}

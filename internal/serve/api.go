@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"lubt"
+	"lubt/internal/obs"
+)
+
+// PointJSON is a plane location on the wire.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// TopologySpec selects the routing topology for a solve request.
+type TopologySpec struct {
+	// Type is "skew" (default: the bounded-skew-guided generator, the
+	// paper's §8 methodology), "balanced" (recursive bipartition) or
+	// "custom" (caller-provided Parent vector).
+	Type string `json:"type"`
+	// SkewBound guides the "skew" generator; omitted/null means +inf (a
+	// pure nearest-neighbour Steiner topology). Interpreted as a multiple
+	// of the radius when the request is normalized.
+	SkewBound *float64 `json:"skew_bound,omitempty"`
+	// Parent is the "custom" topology as a parent vector: node 0 the
+	// root, nodes 1…m the sinks in input order, higher ids Steiner
+	// points. High-degree nodes are split server-side (Fig. 2), so the
+	// resolved topology in the response may have more nodes.
+	Parent []int `json:"parent,omitempty"`
+}
+
+// SolveRequest is the POST /solve body. Delay windows come either as
+// per-sink arrays (lower/upper, indexed like sinks) or as a uniform
+// window (lower_all/upper_all); an omitted upper — or any entry ≤ 0 —
+// means unbounded (+inf; JSON has no infinity literal). With normalized
+// set, every bound and the topology skew bound are multiples of the
+// instance radius, as in the paper's tables.
+type SolveRequest struct {
+	Sinks      []PointJSON   `json:"sinks"`
+	Source     *PointJSON    `json:"source,omitempty"`
+	Topology   *TopologySpec `json:"topology,omitempty"`
+	Lower      []float64     `json:"lower,omitempty"`
+	Upper      []float64     `json:"upper,omitempty"`
+	LowerAll   float64       `json:"lower_all,omitempty"`
+	UpperAll   float64       `json:"upper_all,omitempty"`
+	Normalized bool          `json:"normalized,omitempty"`
+	// Weights are per-edge objective weights (§7), indexed by child node
+	// id in the RESOLVED topology (length = node count; entry 0 unused);
+	// nil means unit weights. The resolved parent vector is returned in
+	// every response's tree.parent.
+	Weights []float64 `json:"weights,omitempty"`
+	// Pricing selects the dual-simplex leaving-row rule ("", "devex",
+	// "mostviolated", "steepest"). Part of the cache key: sessions are
+	// never shared across pricing rules.
+	Pricing string `json:"pricing,omitempty"`
+	// Cold bypasses the warm-basis cache: the solve runs on a fresh
+	// instance and is not cached. Use for one-shot topology experiments
+	// that should not displace warm sessions.
+	Cold bool `json:"cold,omitempty"`
+	// Trace captures a lubt-trace/1 span tree of the request lifecycle
+	// (queue wait, build, solve) in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// WindowEdit retightens one sink's delay window (sink indexed like the
+// original request's sink array, 0-based). Upper ≤ 0 means +inf.
+type WindowEdit struct {
+	Sink  int     `json:"sink"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+}
+
+// WeightEdit reprices one edge (edge = child node id in the resolved
+// topology).
+type WeightEdit struct {
+	Edge   int     `json:"edge"`
+	Weight float64 `json:"weight"`
+}
+
+// EcoRequest is the POST /eco body: targeted edits against the warm
+// session cached under Key (returned by a previous /solve). Bounds and
+// weights are in absolute routing units — the ECO path has no
+// normalized mode.
+type EcoRequest struct {
+	Key       string       `json:"key"`
+	Retighten []WindowEdit `json:"retighten,omitempty"`
+	Reweight  []WeightEdit `json:"reweight,omitempty"`
+	Trace     bool         `json:"trace,omitempty"`
+}
+
+// SolveResponse is the success body of /solve and /eco.
+type SolveResponse struct {
+	// Key is the canonical topology key the request mapped to; feed it
+	// to /eco for targeted warm edits.
+	Key string `json:"key"`
+	// Cache reports how the request was served: "miss" (cold solve, now
+	// cached), "hit" (warm re-solve on the cached basis) or "bypass"
+	// (cold, uncached).
+	Cache string `json:"cache"`
+	// Pivots is the dual-pivot count of THIS request's solve;
+	// ColdPivots the cached session's original cold-solve count (equal
+	// on a miss — their ratio is the warm-start amortization).
+	Pivots     int `json:"pivots"`
+	ColdPivots int `json:"cold_pivots"`
+	// Rounds and Restages summarize the row-generation and restaging
+	// work of this request (tree.stats in full lives under Tree).
+	Rounds   int `json:"rounds"`
+	Restages int `json:"restages"`
+	// Cost is the weighted wirelength; Radius the instance radius
+	// (normalize bounds against it).
+	Cost   float64 `json:"cost"`
+	Radius float64 `json:"radius"`
+	// Tree is the routed tree in the stable TreeJSON shape of the lubt
+	// package (topology, edge lengths, locations, routes, delays).
+	Tree *lubt.Tree `json:"tree"`
+	// Trace is the lubt-trace/1 request span tree when Trace was set.
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response. Error is a
+// stable machine code ("bad_request", "infeasible", "unknown_key",
+// "method_not_allowed", "unavailable", "internal"); Detail is
+// human-readable and may change between versions.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail"`
+}
+
+// httpError carries an error response through the handler plumbing.
+type httpError struct {
+	status int
+	code   string
+	detail string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.detail) }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: 400, code: "bad_request", detail: fmt.Sprintf(format, args...)}
+}
+
+// inf replaces the wire convention "≤ 0 means unbounded" with +inf.
+func inf(u float64) float64 {
+	if u <= 0 {
+		return math.Inf(1)
+	}
+	return u
+}
+
+// bounds assembles the request's delay windows for m sinks, scaled by
+// the radius when normalized.
+func (req *SolveRequest) bounds(m int, radius float64) (lubt.Bounds, *httpError) {
+	scale := 1.0
+	if req.Normalized {
+		scale = radius
+	}
+	var b lubt.Bounds
+	switch {
+	case req.Lower == nil && req.Upper == nil:
+		b = lubt.Uniform(m, req.LowerAll*scale, inf(req.UpperAll)*scale)
+	default:
+		if req.Lower != nil && len(req.Lower) != m {
+			return b, badRequest("lower has %d entries for %d sinks", len(req.Lower), m)
+		}
+		if req.Upper != nil && len(req.Upper) != m {
+			return b, badRequest("upper has %d entries for %d sinks", len(req.Upper), m)
+		}
+		b = lubt.Uniform(m, 0, math.Inf(1))
+		for i := 0; i < m; i++ {
+			if req.Lower != nil {
+				b.Lower[i] = req.Lower[i] * scale
+			}
+			if req.Upper != nil {
+				b.Upper[i] = inf(req.Upper[i]) * scale
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		l, u := b.Lower[i], b.Upper[i]
+		if math.IsNaN(l) || math.IsNaN(u) || math.IsInf(l, 0) {
+			return b, badRequest("sink %d window [%g, %g] is not a number", i, l, u)
+		}
+		if l < 0 || l > u {
+			return b, badRequest("sink %d window [%g, %g] is empty or negative", i, l, u)
+		}
+	}
+	return b, nil
+}
+
+// window returns the edit's bounds with the wire +inf convention
+// applied to the upper limit.
+func (e WindowEdit) window() (l, u float64) { return e.Lower, inf(e.Upper) }
+
+// requestKey is the canonical topology key: a hash over the sink
+// coordinates (exact float bits), the source, the RESOLVED parent
+// vector and the pricing rule. Everything a warm re-solve can absorb —
+// delay windows, edge weights — is deliberately excluded; everything
+// that would need a fresh engine is included.
+func requestKey(sinks []lubt.Point, source *lubt.Point, parent []int, pricing string) string {
+	h := sha256.New()
+	var buf [8]byte
+	wf := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		h.Write(buf[:])
+	}
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	h.Write([]byte("lubt-key/1\x00"))
+	wi(len(sinks))
+	for _, p := range sinks {
+		wf(p.X)
+		wf(p.Y)
+	}
+	if source != nil {
+		h.Write([]byte{1})
+		wf(source.X)
+		wf(source.Y)
+	} else {
+		h.Write([]byte{0})
+	}
+	wi(len(parent))
+	for _, p := range parent {
+		wi(p)
+	}
+	h.Write([]byte(pricing))
+	return "t:" + hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// requiredCounters and requiredGauges are the metric names every
+// /metrics document must carry; the name set is append-only within
+// lubtd-metrics/1 (additions are fine, removals/renames bump the major
+// version). docs/API.md documents each name.
+var requiredCounters = []string{
+	"requests_total", "solve_requests", "eco_requests",
+	"cache_hits", "cache_misses", "cache_evictions", "cache_bypass",
+	"warm_pivots_total", "cold_pivots_total",
+	"solve_errors", "infeasible_total", "restages_total",
+}
+
+var requiredGauges = []string{"workers", "inflight", "cache_size", "cache_capacity"}
+
+// ValidateMetricsJSON checks that data is a well-formed lubtd-metrics/1
+// document: strict top-level key set, correct schema string, every
+// required counter and gauge present, counters non-negative and the
+// gauges inside their structural ranges. It backs the ci.sh lubtd-smoke
+// gate the way experiments.ValidateBenchJSON backs the bench smoke.
+func ValidateMetricsJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var doc struct {
+		Schema   string           `json:"schema"`
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+	}
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("metrics json: %w", err)
+	}
+	if doc.Schema != obs.MetricsSchema {
+		return fmt.Errorf("metrics json: schema %q, want %q", doc.Schema, obs.MetricsSchema)
+	}
+	for _, name := range requiredCounters {
+		v, ok := doc.Counters[name]
+		if !ok {
+			return fmt.Errorf("metrics json: missing counter %q", name)
+		}
+		if v < 0 {
+			return fmt.Errorf("metrics json: counter %q = %d is negative", name, v)
+		}
+	}
+	for _, name := range requiredGauges {
+		if _, ok := doc.Gauges[name]; !ok {
+			return fmt.Errorf("metrics json: missing gauge %q", name)
+		}
+	}
+	if doc.Gauges["workers"] < 1 {
+		return fmt.Errorf("metrics json: workers gauge = %d, want ≥ 1", doc.Gauges["workers"])
+	}
+	if doc.Gauges["cache_capacity"] < 1 {
+		return fmt.Errorf("metrics json: cache_capacity gauge = %d, want ≥ 1", doc.Gauges["cache_capacity"])
+	}
+	if doc.Gauges["inflight"] < 0 || doc.Gauges["cache_size"] < 0 {
+		return fmt.Errorf("metrics json: negative inflight/cache_size gauge")
+	}
+	if doc.Gauges["cache_size"] > doc.Gauges["cache_capacity"] {
+		return fmt.Errorf("metrics json: cache_size %d exceeds cache_capacity %d",
+			doc.Gauges["cache_size"], doc.Gauges["cache_capacity"])
+	}
+	return nil
+}

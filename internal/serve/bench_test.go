@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lubt/internal/wkld"
+)
+
+// benchPost drives one request through the handler stack without a
+// network hop — the benchmarks measure the service, not the socket.
+func benchPost(b *testing.B, srv *Server, path string, body any) solveWire {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != 200 {
+		b.Fatalf("status %d: %s", rr.Code, rr.Body.String())
+	}
+	var out solveWire
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+func benchSetup(b *testing.B) (*Server, *wkld.Benchmark, float64, float64, float64) {
+	b.Helper()
+	srv := New(Config{})
+	bench := wkld.MustGenerate("prim1-s")
+	base := solveReq(bench, 0, 0)
+	base.Cold = true
+	buf, _ := json.Marshal(base)
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(buf))
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	var resp solveWire
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil || rr.Code != 200 {
+		b.Fatalf("baseline: status %d err %v", rr.Code, err)
+	}
+	u := resp.Tree.MaxDelay
+	l := math.Max(0, u-0.1*resp.Radius)
+	return srv, bench, l, u, resp.Radius
+}
+
+// BenchmarkServeColdSolve is the no-cache control: every iteration pays
+// a full cold solve (Cold: true bypasses the warm-basis cache).
+func BenchmarkServeColdSolve(b *testing.B) {
+	srv, bench, l, u, _ := benchSetup(b)
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := solveReq(bench, l, u)
+		req.Cold = true
+		benchPost(b, srv, "/solve", req)
+	}
+}
+
+// BenchmarkServeWarmSolve measures the headline path: repeat solves on
+// one topology key with drifting windows, each served warm from the
+// cached basis. Compare against BenchmarkServeColdSolve for the
+// service-level amortization.
+func BenchmarkServeWarmSolve(b *testing.B) {
+	srv, bench, l, u, radius := benchSetup(b)
+	defer srv.Close()
+	benchPost(b, srv, "/solve", solveReq(bench, l, u)) // seed the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate between two nearby windows so every hit restages.
+		ui := u * (1 + 0.01*float64(i%2+1))
+		li := math.Max(0, ui-0.12*radius)
+		resp := benchPost(b, srv, "/solve", solveReq(bench, li, ui))
+		if resp.Cache != "hit" {
+			b.Fatalf("iteration served %q, want hit", resp.Cache)
+		}
+	}
+}

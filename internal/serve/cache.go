@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"lubt"
+	"lubt/internal/obs"
+)
+
+// entry is one cached warm session. The entry mutex serializes ALL use
+// of the session — a lubt.Solved (and the core.Session under it) is
+// single-threaded by contract, so every warm re-solve, edit, and the
+// final Close hold e.mu for their whole duration. Concurrent requests
+// on one topology key therefore queue on e.mu and re-solve one after
+// another, each warm from the basis the previous one left behind.
+type entry struct {
+	key  string
+	elem *list.Element
+
+	mu     sync.Mutex
+	solved *lubt.Solved
+	// weights is the per-edge weight vector the session currently
+	// prices (nil = unit weights); diffed against each request so only
+	// changed edges are restaged.
+	weights []float64
+	// coldPivots is the session's original cold-solve pivot count — the
+	// denominator of every warm/cold amortization report.
+	coldPivots int
+	radius     float64
+	// closed marks an evicted (or failed) entry: the session is gone
+	// and the entry must not be used. Requests that raced the eviction
+	// fall back to an uncached cold solve.
+	closed bool
+}
+
+// closeLocked releases the entry's session. Caller holds e.mu.
+func (e *entry) closeLocked() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.solved != nil {
+		_ = e.solved.Close()
+		e.solved = nil
+	}
+}
+
+// cache is the keyed warm-basis session cache: an LRU map from
+// canonical topology key to a held-open lubt.Solved. Lock order is
+// strictly cache.mu → nothing (the global lock never waits on an entry
+// lock; victims are closed after it is released), while entry.mu may
+// take cache.mu (remove on a failed solve) — so the two never deadlock.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*entry
+	order   *list.List // front = most recently used
+	metrics *obs.Metrics
+}
+
+func newCache(capacity int, m *obs.Metrics) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	m.SetGauge("cache_capacity", int64(capacity))
+	m.SetGauge("cache_size", 0)
+	return &cache{
+		cap:     capacity,
+		entries: map[string]*entry{},
+		order:   list.New(),
+		metrics: m,
+	}
+}
+
+// acquire returns the entry for key, creating a pending one on first
+// sight, and reports whether the key was already present. The caller
+// must lock entry.mu before touching the session; a pending entry
+// (solved == nil) means the caller owns the cold solve. Creating an
+// entry may evict least-recently-used sessions beyond capacity; those
+// are closed here, after the global lock is released (an evicted
+// session that is mid-solve is closed as soon as its request finishes).
+func (c *cache) acquire(key string) (e *entry, found bool) {
+	var victims []*entry
+	c.mu.Lock()
+	if e, found = c.entries[key]; found {
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		return e, true
+	}
+	e = &entry{key: key}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	for c.order.Len() > c.cap {
+		back := c.order.Back()
+		v := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.entries, v.key)
+		victims = append(victims, v)
+	}
+	c.metrics.SetGauge("cache_size", int64(c.order.Len()))
+	c.mu.Unlock()
+	for _, v := range victims {
+		v.mu.Lock()
+		v.closeLocked()
+		v.mu.Unlock()
+		c.metrics.Inc("cache_evictions")
+	}
+	return e, false
+}
+
+// lookup returns the entry for key without creating one, refreshing its
+// LRU position on a hit.
+func (c *cache) lookup(key string) *entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(e.elem)
+	return e
+}
+
+// remove drops the entry from the index (idempotent — the entry may
+// already have been evicted). The caller holds e.mu and is responsible
+// for closeLocked.
+func (c *cache) remove(e *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[e.key]; ok && cur == e {
+		delete(c.entries, e.key)
+		c.order.Remove(e.elem)
+		c.metrics.SetGauge("cache_size", int64(c.order.Len()))
+	}
+}
+
+// len reports the current entry count.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// closeAll drains the cache, closing every session — the shutdown path.
+// In-use entries are closed as their requests finish (closeLocked waits
+// on each entry's mutex).
+func (c *cache) closeAll() {
+	c.mu.Lock()
+	all := make([]*entry, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		all = append(all, el.Value.(*entry))
+	}
+	c.entries = map[string]*entry{}
+	c.order.Init()
+	c.metrics.SetGauge("cache_size", 0)
+	c.mu.Unlock()
+	for _, e := range all {
+		e.mu.Lock()
+		e.closeLocked()
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lubt/internal/wkld"
+)
+
+// TestWarmHitMatchesColdObjective pins the cache's correctness contract:
+// a warm re-solve on a cached basis must land on the same objective as a
+// fresh cold solve of the same windows — the warm path is an
+// optimization, never an approximation.
+func TestWarmHitMatchesColdObjective(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	b := wkld.Custom("obj24", 24, 11)
+	l, u, radius := coldBaseline(t, srv, b)
+
+	// Seed the cache at window 1, then hit it at window 2.
+	if resp := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(b, l, u))); resp.Cache != "miss" {
+		t.Fatalf("seed served %q, want miss", resp.Cache)
+	}
+	l2, u2 := math.Max(0, l-0.03*radius), u*1.03
+	warm := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(b, l2, u2)))
+	if warm.Cache != "hit" {
+		t.Fatalf("second window served %q, want hit", warm.Cache)
+	}
+
+	// Fresh cold solve of window 2, bypassing the cache.
+	req := solveReq(b, l2, u2)
+	req.Cold = true
+	cold := decodeSolve(t, postJSON(t, srv, "/solve", req))
+	if cold.Cache != "bypass" {
+		t.Fatalf("control served %q, want bypass", cold.Cache)
+	}
+	if tol := 1e-6 * radius; math.Abs(warm.Cost-cold.Cost) > tol {
+		t.Fatalf("warm objective %.9g vs cold %.9g differs by more than %g",
+			warm.Cost, cold.Cost, tol)
+	}
+}
+
+// TestConcurrentSameKeySerializes drives one topology key from many
+// goroutines under the race detector: the entry mutex must serialize all
+// session use, every request must succeed, and the counters must show
+// one cold fill plus N warm hits.
+func TestConcurrentSameKeySerializes(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	b := wkld.Custom("race20", 20, 5)
+	l, u, radius := coldBaseline(t, srv, b)
+	if resp := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(b, l, u))); resp.Cache != "miss" {
+		t.Fatalf("seed served %q, want miss", resp.Cache)
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each goroutine asks for its own window so every hit restages.
+			ui := u * (1 + 0.01*float64(i+1))
+			li := math.Max(0, ui-0.12*radius)
+			body, err := json.Marshal(solveReq(b, li, ui))
+			if err != nil {
+				errs <- err
+				return
+			}
+			req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body))
+			rr := httptest.NewRecorder()
+			srv.ServeHTTP(rr, req)
+			if rr.Code != 200 {
+				errs <- fmt.Errorf("status %d: %s", rr.Code, rr.Body.String())
+				return
+			}
+			var resp solveWire
+			if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.Cache != "hit" {
+				errs <- fmt.Errorf("served %q, want hit", resp.Cache)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	m := srv.Metrics()
+	if misses, hits := m.Counter("cache_misses"), m.Counter("cache_hits"); misses != 1 || hits != n {
+		t.Fatalf("cache_misses=%d cache_hits=%d, want 1 and %d", misses, hits, n)
+	}
+	if srv.CacheLen() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", srv.CacheLen())
+	}
+}
+
+// TestEvictionClosesSession fills a capacity-1 cache past its bound and
+// checks the LRU victim's session is actually closed (white-box) and its
+// key no longer serves /eco.
+func TestEvictionClosesSession(t *testing.T) {
+	srv := New(Config{CacheSize: 1})
+	defer srv.Close()
+	bA := wkld.Custom("evictA", 12, 2)
+	bB := wkld.Custom("evictB", 12, 3)
+
+	respA := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(bA, 0, 0)))
+	if respA.Cache != "miss" {
+		t.Fatalf("A served %q, want miss", respA.Cache)
+	}
+	victim := srv.cache.lookup(respA.Key)
+	if victim == nil {
+		t.Fatal("entry A not in cache after a miss")
+	}
+
+	respB := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(bB, 0, 0)))
+	if respB.Cache != "miss" {
+		t.Fatalf("B served %q, want miss", respB.Cache)
+	}
+	if respB.Key == respA.Key {
+		t.Fatal("distinct instances mapped to one key")
+	}
+
+	m := srv.Metrics()
+	if got := m.Counter("cache_evictions"); got != 1 {
+		t.Fatalf("cache_evictions = %d, want 1", got)
+	}
+	if srv.CacheLen() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", srv.CacheLen())
+	}
+	if got := m.Gauge("cache_size"); got != 1 {
+		t.Fatalf("cache_size gauge = %d, want 1", got)
+	}
+	victim.mu.Lock()
+	closed, gone := victim.closed, victim.solved == nil
+	victim.mu.Unlock()
+	if !closed || !gone {
+		t.Fatalf("evicted entry closed=%v solved-nil=%v, want both true", closed, gone)
+	}
+	// The evicted key is off the warm path.
+	rr := postJSON(t, srv, "/eco", &EcoRequest{Key: respA.Key})
+	decodeError(t, rr.Body, rr.Code, 404, "unknown_key")
+	// The survivor still serves warm hits.
+	if resp := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(bB, 0, 0))); resp.Cache != "hit" {
+		t.Fatalf("survivor served %q, want hit", resp.Cache)
+	}
+}
+
+// TestEcoReweightUpdatesBookkeeping checks that /eco weight edits keep
+// the entry's weight vector in sync, so a later /solve hit on the same
+// key diffs against the session's true state.
+func TestEcoReweightUpdatesBookkeeping(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	b := wkld.Custom("rw16", 16, 9)
+	resp := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(b, 0, 0)))
+	if resp.Cache != "miss" {
+		t.Fatalf("seed served %q, want miss", resp.Cache)
+	}
+	edge := 1
+	warm := decodeSolve(t, postJSON(t, srv, "/eco", &EcoRequest{
+		Key:      resp.Key,
+		Reweight: []WeightEdit{{Edge: edge, Weight: 3}},
+	}))
+	if warm.Cache != "hit" || warm.Restages != 1 {
+		t.Fatalf("eco reweight: cache %q restages %d", warm.Cache, warm.Restages)
+	}
+	e := srv.cache.lookup(resp.Key)
+	e.mu.Lock()
+	got := e.weights[edge]
+	e.mu.Unlock()
+	if got != 3 {
+		t.Fatalf("entry weight bookkeeping = %g, want 3", got)
+	}
+	// A /solve hit with unit weights must now restage the edge back.
+	again := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(b, 0, 0)))
+	if again.Cache != "hit" || again.Restages != 1 {
+		t.Fatalf("unit-weight hit: cache %q restages %d, want hit/1", again.Cache, again.Restages)
+	}
+}

@@ -1,0 +1,28 @@
+// Package serve is the lubtd HTTP service: a JSON front end over the
+// public lubt facade that amortizes LP work across requests.
+//
+// The interesting part is the keyed warm-basis cache. A solve request is
+// split into what fixes the LP's structure (sink/source geometry, the
+// resolved topology, the pricing rule — hashed into a canonical topology
+// key) and what a restageable engine absorbs in place (delay windows,
+// edge weights). Requests sharing a key are routed to one held-open
+// lubt.Solved session: the first pays the cold solve, every later one is
+// diffed against the session's staged state, restaged with
+// Retighten/Reweight, and re-solved warm from the kept basis — a
+// handful of dual pivots instead of a cold solve. /eco edits a cached
+// session directly by key.
+//
+// Sessions are single-threaded by contract, so each cache entry carries
+// a mutex serializing all use of its session; concurrent requests on one
+// key queue and re-solve one after another, each warm from the basis the
+// previous one left behind. The cache is a bounded LRU — evicted
+// sessions are closed once their in-flight request (if any) finishes.
+// Solves run under a bounded worker pool (GOMAXPROCS slots by default);
+// /metrics serves the lubtd-metrics/1 counter document that
+// ValidateMetricsJSON checks in the ci.sh smoke.
+//
+// The wire contract — routes, schemas, error codes, metric names — is
+// documented in docs/API.md; the serving architecture (request
+// lifecycle, cache keying, when a request falls off the warm path) in
+// DESIGN.md §7.
+package serve

@@ -1,0 +1,595 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"runtime"
+
+	"lubt"
+	"lubt/internal/obs"
+)
+
+// DefaultCacheSize is the warm-session LRU capacity when Config leaves
+// it zero.
+const DefaultCacheSize = 64
+
+// maxBodyBytes bounds a request body (custom instances with tens of
+// thousands of sinks fit comfortably; unbounded bodies do not).
+const maxBodyBytes = 64 << 20
+
+// Config tunes a Server.
+type Config struct {
+	// Workers caps concurrent solves; 0 means GOMAXPROCS. Requests
+	// beyond the cap queue; a request whose client goes away while
+	// queued is dropped with 503.
+	Workers int
+	// CacheSize bounds the warm-basis session cache (LRU entries);
+	// 0 means DefaultCacheSize.
+	CacheSize int
+}
+
+// Server is the lubtd HTTP service: JSON solve requests over the public
+// lubt facade, a bounded worker pool, and the keyed warm-basis cache
+// that turns repeat solves on a topology into warm dual re-solves.
+// Construct with New; it implements http.Handler.
+type Server struct {
+	workers int
+	metrics *obs.Metrics
+	cache   *cache
+	mux     *http.ServeMux
+	sem     chan struct{}
+}
+
+// Routes lists every HTTP route the server registers. docs/API.md must
+// document each one — TestAPIDocRoutes gates that.
+func Routes() []string {
+	return []string{"/solve", "/eco", "/metrics", "/healthz"}
+}
+
+// New builds a Server. Every required metric name is pre-seeded so
+// /metrics validates before the first request.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	m := obs.NewMetrics()
+	s := &Server{
+		workers: workers,
+		metrics: m,
+		cache:   newCache(size, m),
+		sem:     make(chan struct{}, workers),
+	}
+	m.SetGauge("workers", int64(workers))
+	m.SetGauge("inflight", 0)
+	for _, name := range requiredCounters {
+		m.Add(name, 0)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.instrument(s.handleSolve))
+	mux.HandleFunc("/eco", s.instrument(s.handleEco))
+	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
+	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the server's registry (the /metrics source) for
+// in-process consumers and tests.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// CacheLen reports the number of warm sessions currently held.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// Close releases every cached warm session. Call after the HTTP server
+// has drained (http.Server.Shutdown); in-use sessions are closed as
+// their requests finish.
+func (s *Server) Close() { s.cache.closeAll() }
+
+// instrument counts the request and converts handler panics into 500s —
+// a daemon must not die because one request hit an engine invariant.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Inc("requests_total")
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Inc("solve_errors")
+				writeError(w, &httpError{status: 500, code: "internal", detail: "panic while serving request"})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	writeJSON(w, e.status, ErrorResponse{Error: e.code, Detail: e.detail})
+}
+
+// requirePost rejects non-POST methods with a JSON 405.
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &httpError{status: 405, code: "method_not_allowed", detail: r.Method + " not allowed; POST"})
+		return false
+	}
+	return true
+}
+
+func requireGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, &httpError{status: 405, code: "method_not_allowed", detail: r.Method + " not allowed; GET"})
+		return false
+	}
+	return true
+}
+
+// acquireSlot blocks until a worker slot frees up or the client goes
+// away. Callers pair it with releaseSlot.
+func (s *Server) acquireSlot(r *http.Request) *httpError {
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.AddGauge("inflight", 1)
+		return nil
+	case <-r.Context().Done():
+		return &httpError{status: 503, code: "unavailable", detail: "request canceled while queued for a worker"}
+	}
+}
+
+func (s *Server) releaseSlot() {
+	<-s.sem
+	s.metrics.AddGauge("inflight", -1)
+}
+
+// decodeStrict parses a JSON body rejecting unknown fields (catching
+// client-side typos like "lowerr") and trailing garbage.
+func decodeStrict(r *http.Request, w http.ResponseWriter, v any) *httpError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("decoding request body: %v", err)
+	}
+	return nil
+}
+
+// attachTrace closes the request tracer and embeds its lubt-trace/1
+// document in the response.
+func attachTrace(resp *SolveResponse, tr *obs.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err == nil {
+		resp.Trace = json.RawMessage(buf.Bytes())
+	}
+}
+
+// countError folds an error response into the stats spine.
+func (s *Server) countError(herr *httpError) {
+	s.metrics.Inc("solve_errors")
+	if herr.code == "infeasible" {
+		s.metrics.Inc("infeasible_total")
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.metrics.Inc("solve_requests")
+	var req SolveRequest
+	if herr := decodeStrict(r, w, &req); herr != nil {
+		s.countError(herr)
+		writeError(w, herr)
+		return
+	}
+	var tr *obs.Tracer
+	if req.Trace {
+		tr = obs.NewTracer("serve-solve")
+	}
+	sp := tr.Start("queue-wait")
+	if herr := s.acquireSlot(r); herr != nil {
+		s.countError(herr)
+		writeError(w, herr)
+		return
+	}
+	defer s.releaseSlot()
+	sp.End()
+	resp, herr := s.solve(&req, tr)
+	if herr != nil {
+		s.countError(herr)
+		writeError(w, herr)
+		return
+	}
+	attachTrace(resp, tr)
+	writeJSON(w, 200, resp)
+}
+
+// buildInstance assembles the lubt.Instance and resolved topology for a
+// solve request.
+func (s *Server) buildInstance(req *SolveRequest) (inst *lubt.Instance, sinks []lubt.Point, source *lubt.Point, parent []int, herr *httpError) {
+	if len(req.Sinks) == 0 {
+		return nil, nil, nil, nil, badRequest("request needs at least one sink")
+	}
+	sinks = make([]lubt.Point, len(req.Sinks))
+	for i, p := range req.Sinks {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return nil, nil, nil, nil, badRequest("sink %d location (%g, %g) is not finite", i, p.X, p.Y)
+		}
+		sinks[i] = lubt.Point{X: p.X, Y: p.Y}
+	}
+	inst, err := lubt.NewInstance(sinks)
+	if err != nil {
+		return nil, nil, nil, nil, badRequest("%v", err)
+	}
+	if req.Source != nil {
+		if math.IsNaN(req.Source.X) || math.IsNaN(req.Source.Y) ||
+			math.IsInf(req.Source.X, 0) || math.IsInf(req.Source.Y, 0) {
+			return nil, nil, nil, nil, badRequest("source location is not finite")
+		}
+		source = &lubt.Point{X: req.Source.X, Y: req.Source.Y}
+		inst.SetSource(*source)
+	}
+	spec := req.Topology
+	typ := "skew"
+	if spec != nil && spec.Type != "" {
+		typ = spec.Type
+	}
+	switch typ {
+	case "skew":
+		if spec != nil && spec.Parent != nil {
+			return nil, nil, nil, nil, badRequest("topology.parent is only valid with type \"custom\"")
+		}
+		bound := math.Inf(1)
+		if spec != nil && spec.SkewBound != nil {
+			bound = *spec.SkewBound
+			if math.IsNaN(bound) || bound < 0 {
+				return nil, nil, nil, nil, badRequest("topology.skew_bound %g must be ≥ 0", bound)
+			}
+			if req.Normalized && !math.IsInf(bound, 1) {
+				bound *= inst.Radius()
+			}
+		}
+		if err := inst.UseSkewGuidedTopology(bound); err != nil {
+			return nil, nil, nil, nil, badRequest("building skew-guided topology: %v", err)
+		}
+	case "balanced":
+		if spec.Parent != nil || spec.SkewBound != nil {
+			return nil, nil, nil, nil, badRequest("topology type \"balanced\" takes no parent or skew_bound")
+		}
+		if err := inst.UseBalancedTopology(); err != nil {
+			return nil, nil, nil, nil, badRequest("building balanced topology: %v", err)
+		}
+	case "custom":
+		if spec.SkewBound != nil {
+			return nil, nil, nil, nil, badRequest("topology type \"custom\" takes no skew_bound")
+		}
+		if len(spec.Parent) == 0 {
+			return nil, nil, nil, nil, badRequest("topology type \"custom\" needs a parent vector")
+		}
+		if err := inst.UseCustomTopology(spec.Parent); err != nil {
+			return nil, nil, nil, nil, badRequest("custom topology: %v", err)
+		}
+	default:
+		return nil, nil, nil, nil, badRequest("unknown topology type %q (skew, balanced or custom)", typ)
+	}
+	return inst, sinks, source, inst.Topology(), nil
+}
+
+// mapSolveErr translates a facade solve error: infeasible windows are
+// the client's 422; anything else surfaces as a 400 with the facade's
+// validation message.
+func mapSolveErr(err error) *httpError {
+	if errors.Is(err, lubt.ErrInfeasible) {
+		return &httpError{status: 422, code: "infeasible", detail: err.Error()}
+	}
+	return badRequest("%v", err)
+}
+
+// solve runs one /solve request end to end: build, key, then the cold,
+// warm or bypass path.
+func (s *Server) solve(req *SolveRequest, tr *obs.Tracer) (*SolveResponse, *httpError) {
+	sp := tr.Start("build")
+	inst, sinks, source, parent, herr := s.buildInstance(req)
+	if herr != nil {
+		sp.End()
+		return nil, herr
+	}
+	radius := inst.Radius()
+	b, herr := req.bounds(len(sinks), radius)
+	if herr != nil {
+		sp.End()
+		return nil, herr
+	}
+	if req.Weights != nil {
+		if len(req.Weights) != len(parent) {
+			sp.End()
+			return nil, badRequest("weights has %d entries for %d nodes in the resolved topology", len(req.Weights), len(parent))
+		}
+		for k := 1; k < len(req.Weights); k++ {
+			if w := req.Weights[k]; w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				sp.End()
+				return nil, badRequest("weight %d = %g must be finite and ≥ 0", k, w)
+			}
+		}
+	}
+	switch req.Pricing {
+	case "", "devex", "mostviolated", "steepest":
+	default:
+		sp.End()
+		return nil, badRequest("unknown pricing %q (devex, mostviolated or steepest)", req.Pricing)
+	}
+	key := requestKey(sinks, source, parent, req.Pricing)
+	sp.SetInt("nodes", len(parent))
+	sp.End()
+
+	opts := &lubt.Options{Pricing: req.Pricing, Weights: req.Weights}
+	if req.Cold {
+		return s.solveBypass(inst, b, opts, key, radius, "bypass", tr)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		e, _ := s.cache.acquire(key)
+		e.mu.Lock()
+		if e.closed {
+			// Raced an eviction between acquire and lock; re-acquire
+			// once, then give up on caching this request.
+			e.mu.Unlock()
+			continue
+		}
+		if e.solved == nil {
+			resp, herr := s.solveColdFill(e, inst, b, opts, req, key, radius, tr)
+			e.mu.Unlock()
+			return resp, herr
+		}
+		resp, herr := s.solveWarmHit(e, b, req.Weights, len(parent), key, tr)
+		e.mu.Unlock()
+		return resp, herr
+	}
+	return s.solveBypass(inst, b, opts, key, radius, "bypass", tr)
+}
+
+// solveBypass is the uncached cold path (explicit Cold requests, or a
+// request that twice raced cache evictions).
+func (s *Server) solveBypass(inst *lubt.Instance, b lubt.Bounds, opts *lubt.Options, key string, radius float64, state string, tr *obs.Tracer) (*SolveResponse, *httpError) {
+	sp := tr.Start("solve")
+	sp.SetString("cache", state)
+	tree, err := inst.Solve(b, opts)
+	sp.End()
+	if err != nil {
+		return nil, mapSolveErr(err)
+	}
+	pivots := tree.Stats.LPIterations
+	s.metrics.Inc("cache_bypass")
+	s.metrics.Add("cold_pivots_total", int64(pivots))
+	return &SolveResponse{
+		Key: key, Cache: state,
+		Pivots: pivots, ColdPivots: pivots,
+		Rounds: tree.Stats.Rounds,
+		Cost:   tree.Cost, Radius: radius, Tree: tree,
+	}, nil
+}
+
+// solveColdFill owns a pending cache entry: run the cold solve, park
+// the warm session in the entry. Caller holds e.mu.
+func (s *Server) solveColdFill(e *entry, inst *lubt.Instance, b lubt.Bounds, opts *lubt.Options, req *SolveRequest, key string, radius float64, tr *obs.Tracer) (*SolveResponse, *httpError) {
+	sp := tr.Start("solve")
+	sp.SetString("cache", "miss")
+	solved, err := inst.SolveECO(b, opts)
+	if err != nil {
+		sp.End()
+		// Do not cache a failed solve; requests queued on this entry
+		// fall back to their own cold attempts.
+		s.cache.remove(e)
+		e.closeLocked()
+		return nil, mapSolveErr(err)
+	}
+	e.solved = solved
+	if req.Weights != nil {
+		e.weights = append([]float64(nil), req.Weights...)
+	}
+	tree := solved.Tree()
+	e.coldPivots = tree.Stats.LPIterations
+	e.radius = radius
+	sp.SetInt("pivots", e.coldPivots)
+	sp.End()
+	s.metrics.Inc("cache_misses")
+	s.metrics.Add("cold_pivots_total", int64(e.coldPivots))
+	return &SolveResponse{
+		Key: key, Cache: "miss",
+		Pivots: e.coldPivots, ColdPivots: e.coldPivots,
+		Rounds: tree.Stats.Rounds,
+		Cost:   tree.Cost, Radius: radius, Tree: tree,
+	}, nil
+}
+
+// solveWarmHit restages a cached session to the requested windows and
+// weights and re-solves warm from its kept basis. Caller holds e.mu.
+func (s *Server) solveWarmHit(e *entry, b lubt.Bounds, weights []float64, nodes int, key string, tr *obs.Tracer) (*SolveResponse, *httpError) {
+	sp := tr.Start("resolve")
+	sp.SetString("cache", "hit")
+	edits := 0
+	cur := e.solved.Bounds()
+	for i := range b.Lower {
+		if cur.Lower[i] == b.Lower[i] && cur.Upper[i] == b.Upper[i] {
+			continue
+		}
+		if err := e.solved.Retighten(i, b.Lower[i], b.Upper[i]); err != nil {
+			sp.End()
+			return nil, badRequest("%v", err)
+		}
+		edits++
+	}
+	for k := 1; k < nodes; k++ {
+		want, have := 1.0, 1.0
+		if weights != nil {
+			want = weights[k]
+		}
+		if e.weights != nil {
+			have = e.weights[k]
+		}
+		if want == have {
+			continue
+		}
+		if err := e.solved.Reweight(k, want); err != nil {
+			sp.End()
+			return nil, badRequest("%v", err)
+		}
+		edits++
+	}
+	if weights == nil {
+		e.weights = nil
+	} else {
+		e.weights = append(e.weights[:0], weights...)
+	}
+	resp, herr := s.resolveLocked(e, key, edits, sp)
+	sp.End()
+	return resp, herr
+}
+
+// resolveLocked re-solves a staged session and assembles the response —
+// the shared tail of the warm-hit and /eco paths. Caller holds e.mu and
+// owns the span.
+func (s *Server) resolveLocked(e *entry, key string, edits int, sp *obs.Span) (*SolveResponse, *httpError) {
+	tree, err := e.solved.Resolve()
+	if err != nil {
+		if errors.Is(err, lubt.ErrInfeasible) {
+			// The session survives an infeasible window set (the facade
+			// contract); keep the entry for the client's relaxed retry.
+			s.metrics.Inc("cache_hits")
+			return nil, &httpError{status: 422, code: "infeasible", detail: err.Error()}
+		}
+		s.cache.remove(e)
+		e.closeLocked()
+		return nil, &httpError{status: 500, code: "internal", detail: err.Error()}
+	}
+	pivots := e.solved.ResolvePivots()
+	sp.SetInt("pivots", pivots)
+	sp.SetInt("edits", edits)
+	s.metrics.Inc("cache_hits")
+	s.metrics.Add("warm_pivots_total", int64(pivots))
+	s.metrics.Add("restages_total", int64(edits))
+	return &SolveResponse{
+		Key: key, Cache: "hit",
+		Pivots: pivots, ColdPivots: e.coldPivots,
+		Rounds: tree.Stats.Rounds, Restages: edits,
+		Cost: tree.Cost, Radius: e.radius, Tree: tree,
+	}, nil
+}
+
+func (s *Server) handleEco(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	s.metrics.Inc("eco_requests")
+	var req EcoRequest
+	if herr := decodeStrict(r, w, &req); herr != nil {
+		s.countError(herr)
+		writeError(w, herr)
+		return
+	}
+	if req.Key == "" {
+		herr := badRequest("eco request needs the key of a previous /solve")
+		s.countError(herr)
+		writeError(w, herr)
+		return
+	}
+	var tr *obs.Tracer
+	if req.Trace {
+		tr = obs.NewTracer("serve-eco")
+	}
+	sp := tr.Start("queue-wait")
+	if herr := s.acquireSlot(r); herr != nil {
+		s.countError(herr)
+		writeError(w, herr)
+		return
+	}
+	defer s.releaseSlot()
+	sp.End()
+	resp, herr := s.eco(&req, tr)
+	if herr != nil {
+		s.countError(herr)
+		writeError(w, herr)
+		return
+	}
+	attachTrace(resp, tr)
+	writeJSON(w, 200, resp)
+}
+
+// eco applies targeted edits to a cached warm session. Edits apply in
+// order; on a rejected edit the earlier ones remain staged (the facade
+// contract — the next Resolve picks them up).
+func (s *Server) eco(req *EcoRequest, tr *obs.Tracer) (*SolveResponse, *httpError) {
+	unknown := &httpError{status: 404, code: "unknown_key",
+		detail: "no warm session for key " + req.Key + " (evicted or never solved); POST /solve first"}
+	e := s.cache.lookup(req.Key)
+	if e == nil {
+		return nil, unknown
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || e.solved == nil {
+		return nil, unknown
+	}
+	sp := tr.Start("resolve")
+	defer sp.End()
+	sp.SetString("cache", "hit")
+	edits := 0
+	for _, edit := range req.Retighten {
+		l, u := edit.window()
+		if err := e.solved.Retighten(edit.Sink, l, u); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		edits++
+	}
+	if len(req.Reweight) > 0 && e.weights == nil {
+		// Materialize the unit vector so the diff bookkeeping of later
+		// /solve hits on this key stays exact.
+		e.weights = make([]float64, len(e.solved.Tree().Parent))
+		for k := 1; k < len(e.weights); k++ {
+			e.weights[k] = 1
+		}
+	}
+	for _, edit := range req.Reweight {
+		if math.IsNaN(edit.Weight) || math.IsInf(edit.Weight, 0) {
+			return nil, badRequest("edge %d weight %g is not finite", edit.Edge, edit.Weight)
+		}
+		if err := e.solved.Reweight(edit.Edge, edit.Weight); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		e.weights[edit.Edge] = edit.Weight
+		edits++
+	}
+	return s.resolveLocked(e, req.Key, edits, sp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
+	writeJSON(w, 200, map[string]string{"status": "ok"})
+}
