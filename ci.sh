@@ -64,13 +64,16 @@ for bench in prim1-s r4-s; do
 	LUBT_BENCH_JSON="$bench_json" go test -run 'TestBenchJSONFile|TestBenchJSONPivotGate|TestBenchJSONEcoGate' ./internal/experiments
 done
 
-echo "== lubtd smoke (live daemon: cold solve, warm eco, lubtd-metrics/1 scrape)"
+echo "== lubtd smoke (live daemon: cold solve, warm eco, lubtd-metrics/2 + prom + flight scrape)"
 # Start the daemon on an ephemeral port, send one cold /solve and one
-# warm /eco on the returned key, scrape /metrics and validate the
-# document the same way the bench smoke validates lubt-bench/1 records
+# warm /eco on the returned key, then scrape /metrics (JSON and
+# ?format=prom) and /debug/flight and validate all three documents the
+# same way the bench smoke validates lubt-bench/1 records
 # (TestMetricsJSONFile also asserts cache_hits >= 1 — the warm path was
-# actually taken). TestAPIDocRoutes gates that docs/API.md documents
-# every registered route and metric name.
+# actually taken; TestPromTextFile that the cold and warm-eco latency
+# histograms were populated; TestFlightJSONFile that the flight ring
+# holds both requests). TestAPIDocRoutes gates that docs/API.md
+# documents every registered route and metric name.
 go build -o "$tmp/lubtd" ./cmd/lubtd
 "$tmp/lubtd" -addr 127.0.0.1:18080 -workers 2 -cache 4 >"$tmp/lubtd.log" 2>&1 &
 lubtd_pid=$!
@@ -118,9 +121,12 @@ grep -q '"cache": *"hit"' "$tmp/eco_out.json" || {
 	exit 1
 }
 curl -sf -o "$tmp/metrics.json" http://127.0.0.1:18080/metrics
+curl -sf -o "$tmp/metrics.prom" 'http://127.0.0.1:18080/metrics?format=prom'
+curl -sf -o "$tmp/flight.json" http://127.0.0.1:18080/debug/flight
 kill "$lubtd_pid"
 wait "$lubtd_pid" 2>/dev/null || true
 trap 'rm -rf "$tmp"' EXIT
-LUBTD_METRICS_JSON="$tmp/metrics.json" go test -run 'TestMetricsJSONFile|TestAPIDocRoutes' ./internal/serve
+LUBTD_METRICS_JSON="$tmp/metrics.json" LUBTD_PROM_TEXT="$tmp/metrics.prom" LUBTD_FLIGHT_JSON="$tmp/flight.json" \
+	go test -run 'TestMetricsJSONFile|TestPromTextFile|TestFlightJSONFile|TestAPIDocRoutes' ./internal/serve
 
 echo "ci: ok"

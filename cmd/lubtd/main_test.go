@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -19,7 +24,7 @@ func TestRunServesAndDrains(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, serve.Config{Workers: 1, CacheSize: 2}, "127.0.0.1:0", 5*time.Second, ready)
+		done <- run(ctx, serve.Config{Workers: 1, CacheSize: 2}, "127.0.0.1:0", 5*time.Second, ready, nil)
 	}()
 
 	var addr string
@@ -46,6 +51,105 @@ func TestRunServesAndDrains(t *testing.T) {
 	mresp.Body.Close()
 	if mresp.StatusCode != 200 {
 		t.Fatalf("metrics status %d", mresp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after cancel")
+	}
+}
+
+// syncWriter is an io.Writer safe to read while the SIGQUIT goroutine
+// writes to it.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) Bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.buf.Bytes()...)
+}
+
+// TestSIGQUITFlightDump serves one solve, sends the process SIGQUIT and
+// expects a valid lubtd-flight/1 document with that request on the dump
+// writer — while the daemon keeps serving.
+func TestSIGQUITFlightDump(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	dump := &syncWriter{}
+	cfg := serve.Config{Workers: 1, CacheSize: 2, FlightSize: 4}
+	go func() {
+		done <- run(ctx, cfg, "127.0.0.1:0", 5*time.Second, ready, dump)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	body := `{"sinks":[{"x":4,"y":0},{"x":0,"y":5}],"lower_all":0,"upper_all":60}`
+	resp, err := http.Post(fmt.Sprintf("http://%s/solve", addr), "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatalf("kill(SIGQUIT): %v", err)
+	}
+
+	// The dump is written by the signal goroutine; poll until a full
+	// JSON document lands.
+	deadline := time.Now().Add(10 * time.Second)
+	var doc []byte
+	for {
+		doc = dump.Bytes()
+		if len(doc) > 0 && bytes.HasSuffix(bytes.TrimSpace(doc), []byte("}")) {
+			if err := serve.ValidateFlightJSON(doc); err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no valid flight dump after SIGQUIT; got %d bytes: %s\nvalidate: %v",
+				len(doc), doc, serve.ValidateFlightJSON(doc))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bytes.Contains(doc, []byte(`"/solve"`)) {
+		t.Fatalf("flight dump missing the /solve entry: %s", doc)
+	}
+
+	// Daemon must still be serving after the dump.
+	hresp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatalf("GET /healthz after SIGQUIT: %v", err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != 200 {
+		t.Fatalf("healthz after SIGQUIT: status %d", hresp.StatusCode)
 	}
 
 	cancel()

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // BenchSchema identifies the machine-readable per-benchmark record
@@ -71,6 +72,24 @@ type EngineRecord struct {
 	SepScanNS       int64   `json:"sep_scan_ns"`
 	LPSolveNS       int64   `json:"lp_solve_ns"`
 	WallNS          int64   `json:"wall_ns"`
+	// WallP50MS/WallP99MS and LPSolveP50MS/LPSolveP99MS are nearest-rank
+	// quantiles of the per-repeat wall and LP-solve times in milliseconds,
+	// and PivotsP50/PivotsP99 the matching per-repeat pivot-count
+	// quantiles (the solver is deterministic, so these collapse onto
+	// Pivots unless the lineup changes) — appended in lubt-bench/1
+	// (append-only within the major version). With few repeats the p99 is
+	// simply the worst observed run.
+	WallP50MS    float64 `json:"wall_p50_ms"`
+	WallP99MS    float64 `json:"wall_p99_ms"`
+	LPSolveP50MS float64 `json:"lp_solve_p50_ms"`
+	LPSolveP99MS float64 `json:"lp_solve_p99_ms"`
+	PivotsP50    int     `json:"pivots_p50"`
+	PivotsP99    int     `json:"pivots_p99"`
+}
+
+// durMS converts a duration to milliseconds for the *_ms JSON keys.
+func durMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
 }
 
 // BenchRecords runs the EngineStats workload (0.1·radius skew window,
@@ -142,6 +161,12 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 				SepScanNS:          medianDuration(run.sep).Nanoseconds(),
 				LPSolveNS:          medianDuration(run.lp).Nanoseconds(),
 				WallNS:             medianDuration(run.wall).Nanoseconds(),
+				WallP50MS:          durMS(quantileDuration(run.wall, 0.5)),
+				WallP99MS:          durMS(quantileDuration(run.wall, 0.99)),
+				LPSolveP50MS:       durMS(quantileDuration(run.lp, 0.5)),
+				LPSolveP99MS:       durMS(quantileDuration(run.lp, 0.99)),
+				PivotsP50:          quantileInt(run.pivots, 0.5),
+				PivotsP99:          quantileInt(run.pivots, 0.99),
 			})
 		}
 		out = append(out, rec)
@@ -195,6 +220,15 @@ func ValidateBenchJSON(data []byte) error {
 		}
 		if e.Cost <= 0 {
 			return fmt.Errorf("bench json: engines[%d]: cost = %g", i, e.Cost)
+		}
+		if e.WallP50MS < 0 || e.WallP99MS < e.WallP50MS {
+			return fmt.Errorf("bench json: engines[%d]: wall quantiles p50=%g p99=%g", i, e.WallP50MS, e.WallP99MS)
+		}
+		if e.LPSolveP50MS < 0 || e.LPSolveP99MS < e.LPSolveP50MS {
+			return fmt.Errorf("bench json: engines[%d]: lp-solve quantiles p50=%g p99=%g", i, e.LPSolveP50MS, e.LPSolveP99MS)
+		}
+		if e.PivotsP50 < 0 || e.PivotsP99 < e.PivotsP50 {
+			return fmt.Errorf("bench json: engines[%d]: pivot quantiles p50=%d p99=%d", i, e.PivotsP50, e.PivotsP99)
 		}
 	}
 	return nil

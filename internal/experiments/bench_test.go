@@ -71,6 +71,21 @@ func TestBenchRecordsRoundTrip(t *testing.T) {
 	if err := CheckEcoGate(rec); err != nil {
 		t.Errorf("eco gate on prim1-s: %v", err)
 	}
+	// Quantiles come from real per-repeat samples: positive latency,
+	// ordered, and (deterministic solver) pivot quantiles equal to the
+	// first-run count.
+	for _, e := range rec.Engines {
+		if e.WallP50MS <= 0 || e.WallP99MS < e.WallP50MS {
+			t.Errorf("%s: wall quantiles p50=%g p99=%g", e.Engine, e.WallP50MS, e.WallP99MS)
+		}
+		if e.LPSolveP50MS <= 0 || e.LPSolveP99MS < e.LPSolveP50MS {
+			t.Errorf("%s: lp-solve quantiles p50=%g p99=%g", e.Engine, e.LPSolveP50MS, e.LPSolveP99MS)
+		}
+		if e.PivotsP50 != e.Pivots || e.PivotsP99 != e.Pivots {
+			t.Errorf("%s: pivot quantiles p50=%d p99=%d, want both %d (deterministic solver)",
+				e.Engine, e.PivotsP50, e.PivotsP99, e.Pivots)
+		}
+	}
 }
 
 // TestBenchJSONSchema locks the lubt-bench/1 key set: any new, removed or
@@ -109,6 +124,8 @@ func TestBenchJSONSchema(t *testing.T) {
 		"pricing_scheme", "devex_resets", "weight_min", "weight_max",
 		"restages", "row_replacements", "eco_pivots", "eco_resolve_ms",
 		"sep_scan_ns", "lp_solve_ns", "wall_ns",
+		"wall_p50_ms", "wall_p99_ms", "lp_solve_p50_ms", "lp_solve_p99_ms",
+		"pivots_p50", "pivots_p99",
 	}
 	if len(engines[0]) != len(wantEng) {
 		t.Errorf("engine record has %d keys, want %d (schema drift — bump lubt-bench version)",
@@ -147,6 +164,12 @@ func TestValidateBenchJSONRejects(t *testing.T) {
 	r = good
 	r.Engines = []EngineRecord{{Engine: "revised", Rounds: 0, WallNS: 5, Cost: 1}}
 	cases["zero rounds"] = r
+	r = good
+	r.Engines = []EngineRecord{{Engine: "revised", Rounds: 1, WallNS: 5, Cost: 1, WallP50MS: 2, WallP99MS: 1}}
+	cases["wall p99 below p50"] = r
+	r = good
+	r.Engines = []EngineRecord{{Engine: "revised", Rounds: 1, WallNS: 5, Cost: 1, PivotsP50: 9, PivotsP99: 3}}
+	cases["pivot p99 below p50"] = r
 	for name, rec := range cases {
 		if err := ValidateBenchJSON(encode(rec)); err == nil {
 			t.Errorf("%s: accepted", name)
@@ -313,6 +336,48 @@ func TestCheckPivotGate(t *testing.T) {
 	bad.Engines[0].PricingScheme = "most-violated"
 	if err := CheckPivotGate(bad); err == nil {
 		t.Error("mislabeled devex row accepted")
+	}
+}
+
+// TestQuantileHelpers pins the nearest-rank quantile contract shared by
+// the *_p50/_p99 bench keys: always an observed sample, q=0.5 agreeing
+// with medianDuration, clamped at the extremes, inputs not mutated.
+func TestQuantileHelpers(t *testing.T) {
+	d := []time.Duration{40, 10, 30, 20}
+	orig := append([]time.Duration(nil), d...)
+	if got := quantileDuration(d, 0.5); got != medianDuration(d) {
+		t.Errorf("quantileDuration(q=0.5) = %v, median = %v", got, medianDuration(d))
+	}
+	if got := quantileDuration(d, 0.99); got != 40 {
+		t.Errorf("quantileDuration(q=0.99) = %v, want 40 (worst observed run)", got)
+	}
+	if got := quantileDuration(d, -1); got != 10 {
+		t.Errorf("quantileDuration(q=-1) = %v, want min 10", got)
+	}
+	if got := quantileDuration(d, 2); got != 40 {
+		t.Errorf("quantileDuration(q=2) = %v, want max 40", got)
+	}
+	if got := quantileDuration(nil, 0.5); got != 0 {
+		t.Errorf("quantileDuration(empty) = %v, want 0", got)
+	}
+	for i := range orig {
+		if d[i] != orig[i] {
+			t.Fatalf("input mutated: %v, was %v", d, orig)
+		}
+	}
+	// 100 samples 1..100: p50 is the 50th, p99 the 99th order statistic.
+	var big []int
+	for i := 100; i >= 1; i-- {
+		big = append(big, i)
+	}
+	if got := quantileInt(big, 0.5); got != 50 {
+		t.Errorf("quantileInt(1..100, 0.5) = %d, want 50", got)
+	}
+	if got := quantileInt(big, 0.99); got != 99 {
+		t.Errorf("quantileInt(1..100, 0.99) = %d, want 99", got)
+	}
+	if got := quantileInt(nil, 0.9); got != 0 {
+		t.Errorf("quantileInt(empty) = %d, want 0", got)
 	}
 }
 

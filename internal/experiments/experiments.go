@@ -157,10 +157,12 @@ func EngineStatsN(names []string, repeats int) (*table.Table, error) {
 const DefaultRepeats = 3
 
 // repeatedRun is the outcome of solving one (bench, engine) pair several
-// times: the (deterministic) first result plus per-run timing samples.
+// times: the (deterministic) first result plus per-run timing and pivot
+// samples.
 type repeatedRun struct {
 	res           *core.Result
 	wall, sep, lp []time.Duration
+	pivots        []int
 }
 
 // runRepeated solves the instance `repeats` times with the given warm
@@ -184,6 +186,7 @@ func (in *instance) runRepeated(base *bst.Result, l, u float64, eng engineSpec, 
 		run.wall = append(run.wall, wall)
 		run.sep = append(run.sep, res.Stats.SeparationTime)
 		run.lp = append(run.lp, res.Stats.SolveTime)
+		run.pivots = append(run.pivots, res.Stats.Pivots)
 	}
 	return run, nil
 }
@@ -250,6 +253,44 @@ func medianDuration(d []time.Duration) time.Duration {
 	s := append([]time.Duration(nil), d...)
 	slices.Sort(s)
 	return s[(len(s)-1)/2]
+}
+
+// quantileRank maps quantile q over n samples to a 0-based nearest-rank
+// index: ceil(q·n) − 1, clamped to [0, n−1]. Like medianDuration, the
+// result always names an observed sample (never an interpolated value),
+// and quantileRank(0.5, n) picks the same lower-middle element as the
+// median for every n.
+func quantileRank(q float64, n int) int {
+	r := int(math.Ceil(q * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r - 1
+}
+
+// quantileDuration returns the nearest-rank q-quantile of the timing
+// samples without mutating d; empty input → 0, q ≤ 0 → the minimum,
+// q ≥ 1 → the maximum.
+func quantileDuration(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d...)
+	slices.Sort(s)
+	return s[quantileRank(q, len(s))]
+}
+
+// quantileInt is quantileDuration for integer samples (pivot counts).
+func quantileInt(v []int, q float64) int {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]int(nil), v...)
+	slices.Sort(s)
+	return s[quantileRank(q, len(s))]
 }
 
 // Row1 is one line of Table 1.

@@ -1,7 +1,8 @@
 // Package obs is the observability layer of the LUBT pipeline:
 // hierarchical wall-clock spans with attached attributes, pprof phase
-// labels, a process-wide counter/gauge registry for the serving daemon,
-// and stable JSON emission formats for both.
+// labels, a process-wide counter/gauge/histogram registry for the
+// serving daemon (with JSON and Prometheus text expositions), and a
+// bounded flight-recorder ring of completed request traces.
 //
 // # Span model
 //
@@ -66,25 +67,55 @@
 // never as new keys, so downstream consumers can rely on the shape.
 // TestTraceJSONSchema locks this contract.
 //
-// # Metrics (lubtd-metrics/1)
+// # Metrics (lubtd-metrics/2)
 //
 // Where a Tracer describes ONE solve, a Metrics registry aggregates
 // ACROSS solves — the counters behind the lubtd daemon's /metrics
 // endpoint (internal/serve). Counters are monotone (requests, cache
 // hits/misses/evictions, warm/cold pivot totals); gauges carry a
-// current value (in-flight solves, cache size, worker-pool width).
-// Metrics is safe for concurrent use and follows the same disabled-nil
-// contract as Tracer: every method on a nil *Metrics is a no-op read
-// of zero. Metrics.WriteJSON emits
+// current value (in-flight solves, cache size, worker-pool width);
+// histograms carry distributions (latencies in seconds, pivot and
+// restage counts), split by cache outcome. Metrics is safe for
+// concurrent use and follows the same disabled-nil contract as Tracer:
+// every method on a nil *Metrics is a no-op read of zero.
+// Metrics.WriteJSON emits
 //
 //	{
-//	  "schema": "lubtd-metrics/1",
-//	  "counters": {"cache_hits": 12, ...},
-//	  "gauges":   {"inflight": 0, ...}
+//	  "schema": "lubtd-metrics/2",
+//	  "counters":   {"cache_hits": 12, ...},
+//	  "gauges":     {"inflight": 0, ...},
+//	  "histograms": {"solve_seconds_cold": {
+//	      "count": 3, "sum": 0.8, "min": 0.1, "max": 0.5,
+//	      "p50": 0.21, "p99": 0.5,
+//	      "buckets": [{"le": 0.125, "count": 1}, ...]   // cumulative
+//	  }, ...}
 //	}
 //
-// The document's key set is fixed at those three keys; counter and
-// gauge NAMES are append-only within the major version. The serving
-// name set and its validator live in internal/serve
-// (ValidateMetricsJSON); docs/API.md documents the wire contract.
+// The document's key set is fixed at those four keys; counter, gauge
+// and histogram NAMES are append-only within the major version. JSON
+// bucket series carry finite boundaries only (JSON has no infinity
+// literal) — the series total is `count`. The serving name set and its
+// validator live in internal/serve (ValidateMetricsJSON); docs/API.md
+// documents the wire contract.
+//
+// # Histograms
+//
+// Histogram is a lock-free log-linear distribution: each power-of-two
+// octave splits into 16 linear sub-buckets, so Quantile estimates carry
+// at most 1/16 = 6.25% relative error (see DESIGN §6). Observe is a
+// few atomic operations — cheap enough for per-request hot paths — and
+// a nil *Histogram (from a nil registry) is an allocation-free no-op,
+// pinned by TestNilHistogramAllocs. Metrics.WriteProm emits the whole
+// registry in the Prometheus text exposition format, histograms as
+// cumulative `_bucket{le="..."}` / `_sum` / `_count` series under a
+// `lubtd_` name prefix.
+//
+// # Flight recorder (lubtd-flight/1)
+//
+// FlightRecorder is a bounded mutex-guarded ring of the last N
+// completed request span trees (FlightEntry: request id, route, cache
+// outcome, HTTP status, wall time, root *Span). The daemon records
+// every /solve and /eco request into it and dumps it at /debug/flight
+// and on SIGQUIT; WriteJSON emits lubtd-flight/1, embedding each trace
+// as an unmodified lubt-trace/1 document.
 package obs

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightSchema identifies the JSON layout emitted by
+// FlightRecorder.WriteJSON; bump it when the document or entry key set
+// changes.
+const FlightSchema = "lubtd-flight/1"
+
+// FlightEntry is one completed request in the flight recorder: identity
+// and outcome fields that correlate with the access log, plus the full
+// span tree (which must be ended before Record — entries are read
+// concurrently with no further synchronization on the spans).
+type FlightEntry struct {
+	ID       string // request id, matches the access-log and trace ids
+	Route    string // "/solve" or "/eco"
+	Outcome  string // cache outcome: cold, warm_hit, warm_eco, error
+	Status   int    // HTTP status written
+	Start    time.Time
+	Duration time.Duration
+	Root     *Span // completed lubt-trace/1 span tree (may be nil)
+}
+
+// FlightRecorder is a bounded ring of the last Cap() completed request
+// entries — the always-on "what just happened" buffer behind
+// /debug/flight and the SIGQUIT dump. Recording overwrites the oldest
+// entry once full; the total number overwritten is reported as
+// `dropped`. Safe for concurrent use. A nil *FlightRecorder is the
+// disabled recorder: Record is a no-op and reads return zero values,
+// mirroring the nil *Tracer and *Metrics contracts.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []FlightEntry
+	next    int    // ring index of the next write
+	filled  bool   // ring has wrapped at least once
+	dropped uint64 // entries overwritten since start
+}
+
+// NewFlightRecorder returns an empty recorder holding the last size
+// entries (size < 1 is treated as 1).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	return &FlightRecorder{ring: make([]FlightEntry, 0, size)}
+}
+
+// Record appends a completed entry, evicting the oldest when full.
+func (f *FlightRecorder) Record(e FlightEntry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.ring) < cap(f.ring) {
+		f.ring = append(f.ring, e)
+	} else {
+		f.ring[f.next] = e
+		f.next = (f.next + 1) % cap(f.ring)
+		f.filled = true
+		f.dropped++
+	}
+	f.mu.Unlock()
+}
+
+// Cap returns the ring capacity (0 for nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return cap(f.ring)
+}
+
+// Len returns the number of entries currently held (0 for nil).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}
+
+// Dropped returns how many entries have been evicted (0 for nil).
+func (f *FlightRecorder) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}
+
+// Snapshot returns the held entries oldest-first (nil for nil).
+func (f *FlightRecorder) Snapshot() []FlightEntry {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEntry, 0, len(f.ring))
+	if f.filled {
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	} else {
+		out = append(out, f.ring...)
+	}
+	return out
+}
+
+// flightEntryJSON is one serialized entry (schema lubtd-flight/1). The
+// trace field reuses the lubt-trace/1 document verbatim, so existing
+// trace tooling reads flight dumps unchanged.
+type flightEntryJSON struct {
+	ID          string     `json:"id"`
+	Route       string     `json:"route"`
+	Outcome     string     `json:"outcome"`
+	Status      int        `json:"status"`
+	StartUnixUS int64      `json:"start_unix_us"`
+	DurUS       int64      `json:"dur_us"`
+	Trace       *traceJSON `json:"trace,omitempty"`
+}
+
+type flightJSON struct {
+	Schema   string            `json:"schema"`
+	Capacity int               `json:"capacity"`
+	Dropped  uint64            `json:"dropped"`
+	Entries  []flightEntryJSON `json:"entries"`
+}
+
+// WriteJSON writes the ring oldest-first as an indented lubtd-flight/1
+// document. Calling it on a nil recorder is an error, mirroring the
+// other disabled-emitter contracts.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	if f == nil {
+		return fmt.Errorf("obs: WriteJSON on a disabled flight recorder")
+	}
+	doc := flightJSON{
+		Schema:   FlightSchema,
+		Capacity: f.Cap(),
+		Dropped:  f.Dropped(),
+		Entries:  []flightEntryJSON{},
+	}
+	for _, e := range f.Snapshot() {
+		ej := flightEntryJSON{
+			ID:          e.ID,
+			Route:       e.Route,
+			Outcome:     e.Outcome,
+			Status:      e.Status,
+			StartUnixUS: e.Start.UnixMicro(),
+			DurUS:       e.Duration.Microseconds(),
+		}
+		if e.Root != nil {
+			ej.Trace = &traceJSON{Schema: TraceSchema, Root: e.Root.toJSON(e.Root.start)}
+		}
+		doc.Entries = append(doc.Entries, ej)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func flightEntry(i int) FlightEntry {
+	tr := NewTracer("serve-solve")
+	sp := tr.Start("solve")
+	sp.End()
+	tr.Close()
+	return FlightEntry{
+		ID:       fmt.Sprintf("req-%d", i),
+		Route:    "/solve",
+		Outcome:  "cold",
+		Status:   200,
+		Start:    time.Unix(1700000000+int64(i), 0),
+		Duration: time.Duration(i) * time.Millisecond,
+		Root:     tr.Root(),
+	}
+}
+
+// TestFlightRingEviction pins the bounded-ring semantics: oldest-first
+// order, eviction once full, and the dropped counter.
+func TestFlightRingEviction(t *testing.T) {
+	f := NewFlightRecorder(2)
+	if f.Cap() != 2 || f.Len() != 0 {
+		t.Fatalf("fresh recorder cap/len = %d/%d", f.Cap(), f.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		f.Record(flightEntry(i))
+	}
+	if f.Len() != 2 || f.Dropped() != 1 {
+		t.Fatalf("len/dropped = %d/%d, want 2/1", f.Len(), f.Dropped())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "req-2" || snap[1].ID != "req-3" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	// Two more: wraps again, still oldest-first.
+	f.Record(flightEntry(4))
+	f.Record(flightEntry(5))
+	snap = f.Snapshot()
+	if snap[0].ID != "req-4" || snap[1].ID != "req-5" || f.Dropped() != 3 {
+		t.Fatalf("after wrap: %+v dropped=%d", snap, f.Dropped())
+	}
+}
+
+// TestFlightWriteJSONSchema locks the lubtd-flight/1 shape with a
+// strict decoder, and checks the embedded trace is a full lubt-trace/1
+// document.
+func TestFlightWriteJSONSchema(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(flightEntry(1))
+	f.Record(flightEntry(2))
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema   string `json:"schema"`
+		Capacity int    `json:"capacity"`
+		Dropped  uint64 `json:"dropped"`
+		Entries  []struct {
+			ID          string `json:"id"`
+			Route       string `json:"route"`
+			Outcome     string `json:"outcome"`
+			Status      int    `json:"status"`
+			StartUnixUS int64  `json:"start_unix_us"`
+			DurUS       int64  `json:"dur_us"`
+			Trace       struct {
+				Schema string          `json:"schema"`
+				Root   json.RawMessage `json:"root"`
+			} `json:"trace"`
+		} `json:"entries"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("document has unexpected keys: %v", err)
+	}
+	if doc.Schema != FlightSchema || doc.Capacity != 4 || doc.Dropped != 0 {
+		t.Fatalf("header wrong: %+v", doc)
+	}
+	if len(doc.Entries) != 2 || doc.Entries[0].ID != "req-1" {
+		t.Fatalf("entries wrong: %+v", doc.Entries)
+	}
+	e := doc.Entries[0]
+	if e.Route != "/solve" || e.Outcome != "cold" || e.Status != 200 ||
+		e.StartUnixUS != 1700000001000000 {
+		t.Fatalf("entry fields wrong: %+v", e)
+	}
+	if e.Trace.Schema != TraceSchema || len(e.Trace.Root) == 0 {
+		t.Fatalf("embedded trace wrong: %+v", e.Trace)
+	}
+}
+
+// TestFlightNil pins the disabled-recorder contract.
+func TestFlightNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEntry{ID: "x"})
+	if f.Cap() != 0 || f.Len() != 0 || f.Dropped() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder returned nonzero state")
+	}
+	if err := f.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteJSON on nil recorder did not error")
+	}
+}
+
+// TestFlightConcurrent: Record from many goroutines while snapshotting;
+// run under -race this pins the locking, and the arithmetic must hold.
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			_ = f.Snapshot()
+			_ = f.Len()
+		}
+		close(done)
+	}()
+	for i := 0; i < 100; i++ {
+		f.Record(FlightEntry{ID: fmt.Sprintf("r%d", i)})
+	}
+	<-done
+	if f.Len() != 8 || f.Dropped() != 92 {
+		t.Fatalf("len/dropped = %d/%d, want 8/92", f.Len(), f.Dropped())
+	}
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucket scheme: each power-of-two octave [2^o, 2^(o+1)) is
+// split into histSub equal-width linear sub-buckets, so a recorded value
+// is located to within a factor of (histSub+1)/histSub ≈ 1.0625 of its
+// bucket's bounds. Octaves below histMinExp collapse into the underflow
+// bucket (index 0, which also holds zeros — a legitimate observation for
+// pivot and restage counts); octaves at or above histMaxExp collapse
+// into the overflow bucket. The range covers ~9.3e-10 … ~1.1e12, wide
+// enough for both second-denominated latencies (sub-microsecond and up)
+// and raw event counts (pivots, restages).
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // linear sub-buckets per octave
+	histMinExp  = -30
+	histMaxExp  = 40
+	numBuckets  = (histMaxExp-histMinExp)*histSub + 2 // + underflow + overflow
+)
+
+// bucketIndex maps a value to its bucket. Non-positive values and NaN
+// land in the underflow bucket.
+func bucketIndex(v float64) int {
+	if !(v > 0) {
+		return 0
+	}
+	f, e := math.Frexp(v) // v = f·2^e, f ∈ [0.5, 1) ⇒ v ∈ [2^(e-1), 2^e)
+	o := e - 1
+	if o < histMinExp {
+		return 0
+	}
+	if o >= histMaxExp {
+		return numBuckets - 1
+	}
+	sub := int((f - 0.5) * (2 * histSub))
+	if sub >= histSub {
+		sub = histSub - 1
+	}
+	return 1 + (o-histMinExp)*histSub + sub
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i (the `le`
+// boundary reported in expositions): 2^histMinExp for the underflow
+// bucket, +Inf for the overflow bucket.
+func bucketUpper(i int) float64 {
+	if i <= 0 {
+		return math.Ldexp(1, histMinExp)
+	}
+	if i >= numBuckets-1 {
+		return math.Inf(1)
+	}
+	i--
+	return math.Ldexp(1+float64(i%histSub+1)/histSub, histMinExp+i/histSub)
+}
+
+// Histogram is a lock-free log-linear latency/count distribution:
+// per-bucket atomic counters plus atomic count, sum and min/max. All
+// methods are safe for concurrent use. A nil *Histogram is the disabled
+// histogram, mirroring the nil *Tracer contract: Observe is an
+// allocation-free no-op and every read returns zero. Construct enabled
+// histograms with NewHistogram or Metrics.Histogram.
+type Histogram struct {
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits, CAS-lowered; +Inf until first Observe
+	maxBits atomic.Uint64 // float64 bits, CAS-raised; -Inf until first Observe
+	buckets [numBuckets]atomic.Uint64
+}
+
+// NewHistogram returns an empty enabled histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample. NaN and negative samples count into the
+// underflow bucket (they indicate a caller bug, but a telemetry layer
+// must not panic the daemon over one). Allocation-free on both the
+// enabled and the nil path.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bucket before count: a concurrent Quantile that loads count first
+	// always finds at least count samples distributed over the buckets.
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in seconds — the exposition unit for every
+// latency histogram.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of recorded samples (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of recorded samples (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Min returns the smallest recorded sample, 0 when empty or nil.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest recorded sample, 0 when empty or nil.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile estimates the q-quantile (q clamped to [0, 1]) of the
+// recorded distribution: the upper bound of the bucket containing the
+// nearest-rank sample, clamped into [Min, Max]. The estimate is
+// therefore within one bucket of the true sample quantile — a relative
+// error of at most 1/histSub = 6.25% (plus the clamp, which can only
+// tighten it). Returns 0 on an empty or nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	est := h.Max()
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			est = bucketUpper(i)
+			break
+		}
+	}
+	if mx := h.Max(); est > mx {
+		est = mx
+	}
+	if mn := h.Min(); est < mn {
+		est = mn
+	}
+	return est
+}
+
+// HistogramBucket is one cumulative exposition point: Count samples
+// were ≤ LE.
+type HistogramBucket struct {
+	LE    float64
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram for
+// exposition. Buckets is cumulative and sparse — only boundaries where
+// the cumulative count increases appear, in increasing LE order, with a
+// final {+Inf, Count} entry. Under concurrent recording the snapshot is
+// internally consistent (Count is the bucket total), though it may lag
+// the instantaneous counters.
+type HistogramSnapshot struct {
+	Count    uint64
+	Sum      float64
+	Min, Max float64
+	Buckets  []HistogramBucket
+}
+
+// Snapshot captures the histogram for exposition (zero value for nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var snap HistogramSnapshot
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		snap.Buckets = append(snap.Buckets, HistogramBucket{LE: bucketUpper(i), Count: cum})
+	}
+	// Report the bucket total as the count so the cumulative series and
+	// the _count line always agree, even mid-Observe.
+	snap.Count = cum
+	if n := len(snap.Buckets); n > 0 && !math.IsInf(snap.Buckets[n-1].LE, 1) {
+		snap.Buckets = append(snap.Buckets, HistogramBucket{LE: math.Inf(1), Count: cum})
+	}
+	snap.Sum = h.Sum()
+	snap.Min = h.Min()
+	snap.Max = h.Max()
+	return snap
+}

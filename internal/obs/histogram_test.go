@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBasics checks count/sum/min/max bookkeeping and the
+// duration recording unit.
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("fresh histogram not zero")
+	}
+	h.Observe(2)
+	h.Observe(0.5)
+	h.ObserveDuration(1500 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got != 4 {
+		t.Fatalf("sum = %v, want 4", got)
+	}
+	if h.Min() != 0.5 || h.Max() != 2 {
+		t.Fatalf("min/max = %v/%v, want 0.5/2", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines —
+// under -race (ci.sh runs it) this pins the lock-free recording, and the
+// final count must be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	const goroutines, perG = 8, 10000
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i+1) * 1e-6)
+				if i%128 == 0 { // concurrent readers must stay consistent
+					_ = h.Quantile(0.99)
+					_ = h.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := h.Count(); got != total {
+		t.Fatalf("count = %d, want %d", got, total)
+	}
+	// Sum of 1e-6 * (1..total); CAS float accumulation is exact up to
+	// fp rounding of the addition order.
+	want := 1e-6 * float64(total) * float64(total+1) / 2
+	if got := h.Sum(); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("sum = %v, want ≈ %v", got, want)
+	}
+	if h.Min() != 1e-6 || h.Max() != float64(total)*1e-6 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	snap := h.Snapshot()
+	if snap.Count != total || snap.Buckets[len(snap.Buckets)-1].Count != total {
+		t.Fatalf("snapshot count %d / final bucket %d, want %d",
+			snap.Count, snap.Buckets[len(snap.Buckets)-1].Count, total)
+	}
+}
+
+// TestNilHistogramAllocs pins the disabled-histogram contract, mirroring
+// TestNilTracerAllocs: every method on a nil *Histogram is an
+// allocation-free no-op or zero read.
+func TestNilHistogramAllocs(t *testing.T) {
+	var h *Histogram
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(1.5)
+		h.ObserveDuration(time.Millisecond)
+		_ = h.Count()
+		_ = h.Sum()
+		_ = h.Min()
+		_ = h.Max()
+		_ = h.Quantile(0.5)
+		_ = h.Snapshot()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled histogram allocated %.1f per op", allocs)
+	}
+}
+
+// TestHistogramQuantileBounds pins the log-linear estimation error: the
+// reported quantile must be within one sub-bucket (a factor of
+// 1 + 1/histSub) of the true sample quantile, and inside [Min, Max].
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i))
+	}
+	const relErr = 1.0 / histSub
+	for _, tc := range []struct {
+		q    float64
+		true float64
+	}{
+		{0.5, 500}, {0.9, 900}, {0.99, 990}, {1.0, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.true*(1-relErr) || got > tc.true*(1+relErr) {
+			t.Errorf("Quantile(%v) = %v, want within %.2f%% of %v",
+				tc.q, got, 100*relErr, tc.true)
+		}
+		if got < h.Min() || got > h.Max() {
+			t.Errorf("Quantile(%v) = %v outside [%v, %v]", tc.q, got, h.Min(), h.Max())
+		}
+	}
+	// Out-of-range q clamps rather than panics.
+	if h.Quantile(-1) < 1 || h.Quantile(2) != h.Max() {
+		t.Errorf("clamped quantiles wrong: %v, %v", h.Quantile(-1), h.Quantile(2))
+	}
+	// Empty histogram reads zero.
+	if NewHistogram().Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile nonzero")
+	}
+}
+
+// TestHistogramUnderflowOverflow: zeros, negatives and NaN land in the
+// underflow bucket without panicking; huge values hit the overflow
+// bucket whose boundary is +Inf but whose quantile clamps to Max.
+func TestHistogramUnderflowOverflow(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.NaN())
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	snap := h.Snapshot()
+	if len(snap.Buckets) < 1 || snap.Buckets[0].Count != 3 {
+		t.Fatalf("underflow bucket: %+v", snap.Buckets)
+	}
+
+	h2 := NewHistogram()
+	h2.Observe(1e30) // beyond 2^40: overflow bucket
+	if got := h2.Quantile(0.5); got != 1e30 {
+		t.Fatalf("overflow quantile = %v, want clamped to max 1e30", got)
+	}
+	snap2 := h2.Snapshot()
+	last := snap2.Buckets[len(snap2.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != 1 {
+		t.Fatalf("overflow snapshot: %+v", snap2.Buckets)
+	}
+}
+
+// TestBucketIndexUpperRoundTrip: every value must fall strictly at or
+// below its bucket's upper bound, and upper bounds must be increasing.
+func TestBucketIndexUpperRoundTrip(t *testing.T) {
+	for i := 1; i < numBuckets-1; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d: %v <= %v",
+				i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+	for _, v := range []float64{1e-9, 3e-7, 0.001, 0.5, 1, 1.5, 7, 1000, 1e6, 1e11} {
+		i := bucketIndex(v)
+		if v > bucketUpper(i) {
+			t.Errorf("v=%v above its bucket %d upper %v", v, i, bucketUpper(i))
+		}
+		// Buckets are half-open [lower, upper): a value strictly below the
+		// previous bucket's bound landed too high.
+		if i > 0 && v < bucketUpper(i-1) {
+			t.Errorf("v=%v below previous bucket %d upper %v", v, i-1, bucketUpper(i-1))
+		}
+	}
+}

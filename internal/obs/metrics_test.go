@@ -41,8 +41,15 @@ func TestMetricsNilNoOps(t *testing.T) {
 	m.Add("a", 7)
 	m.SetGauge("g", 1)
 	m.AddGauge("g", 1)
+	m.SetInfo("i", InfoLabel{Key: "k", Value: "v"})
 	if m.Counter("a") != 0 || m.Gauge("g") != 0 {
 		t.Fatal("nil registry returned nonzero values")
+	}
+	if m.Histogram("h") != nil {
+		t.Fatal("nil registry handed out a live histogram")
+	}
+	if m.Info("i") != nil {
+		t.Fatal("nil registry returned info labels")
 	}
 	c, g := m.Snapshot()
 	if len(c) != 0 || len(g) != 0 {
@@ -68,14 +75,29 @@ func TestMetricsWriteJSONSchema(t *testing.T) {
 	m := NewMetrics()
 	m.Add("cache_hits", 4)
 	m.SetGauge("workers", 8)
+	h := m.Histogram("solve_seconds_cold")
+	h.Observe(0.25)
+	h.Observe(0.5)
 	var buf bytes.Buffer
 	if err := m.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
 	var doc struct {
-		Schema   string           `json:"schema"`
-		Counters map[string]int64 `json:"counters"`
-		Gauges   map[string]int64 `json:"gauges"`
+		Schema     string           `json:"schema"`
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count   uint64  `json:"count"`
+			Sum     float64 `json:"sum"`
+			Min     float64 `json:"min"`
+			Max     float64 `json:"max"`
+			P50     float64 `json:"p50"`
+			P99     float64 `json:"p99"`
+			Buckets []struct {
+				LE    float64 `json:"le"`
+				Count uint64  `json:"count"`
+			} `json:"buckets"`
+		} `json:"histograms"`
 	}
 	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
@@ -87,6 +109,28 @@ func TestMetricsWriteJSONSchema(t *testing.T) {
 	}
 	if doc.Counters["cache_hits"] != 4 || doc.Gauges["workers"] != 8 {
 		t.Fatalf("document values wrong: %+v", doc)
+	}
+	hd, ok := doc.Histograms["solve_seconds_cold"]
+	if !ok {
+		t.Fatal("histogram missing from document")
+	}
+	if hd.Count != 2 || hd.Sum != 0.75 || hd.Min != 0.25 || hd.Max != 0.5 {
+		t.Fatalf("histogram summary wrong: %+v", hd)
+	}
+	if hd.P50 <= 0 || hd.P99 < hd.P50 {
+		t.Fatalf("quantiles wrong: p50=%v p99=%v", hd.P50, hd.P99)
+	}
+	// Buckets are cumulative, finite-boundary only, and end at the total.
+	var prevLE float64
+	var prevCum uint64
+	for i, b := range hd.Buckets {
+		if i > 0 && (b.LE <= prevLE || b.Count < prevCum) {
+			t.Fatalf("bucket %d not monotone: %+v", i, hd.Buckets)
+		}
+		prevLE, prevCum = b.LE, b.Count
+	}
+	if n := len(hd.Buckets); n == 0 || hd.Buckets[n-1].Count != hd.Count {
+		t.Fatalf("bucket series does not end at count: %+v", hd)
 	}
 }
 

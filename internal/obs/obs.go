@@ -20,6 +20,7 @@ const TraceSchema = "lubt-trace/1"
 type Tracer struct {
 	root *Span
 	cur  *Span
+	base context.Context // label context restored by Close
 }
 
 // Span is one timed phase of a solve. The exported accessors exist for
@@ -47,9 +48,18 @@ type attr struct {
 // NewTracer starts an enabled tracer whose root span opens immediately,
 // and installs the root's pprof label on the calling goroutine.
 func NewTracer(rootName string) *Tracer {
-	t := &Tracer{}
+	return NewTracerCtx(context.Background(), rootName)
+}
+
+// NewTracerCtx is NewTracer with an explicit base context: span pprof
+// labels compose on top of any labels already carried by ctx (the
+// daemon uses this so per-request lubt_route/lubt_cache labels survive
+// under the per-phase lubt_span label), and Close restores ctx's labels
+// rather than wiping the goroutine clean.
+func NewTracerCtx(ctx context.Context, rootName string) *Tracer {
+	t := &Tracer{base: ctx}
 	root := &Span{name: rootName, start: time.Now(), tr: t}
-	root.ctx = pprof.WithLabels(context.Background(), pprof.Labels("lubt_span", rootName))
+	root.ctx = pprof.WithLabels(ctx, pprof.Labels("lubt_span", rootName))
 	pprof.SetGoroutineLabels(root.ctx)
 	t.root = root
 	t.cur = root
@@ -82,13 +92,18 @@ func (t *Tracer) Root() *Span {
 }
 
 // Close ends the root span — and with it every span still open — and
-// clears the goroutine's pprof labels. Idempotent; safe on nil.
+// restores the goroutine's pprof labels to the tracer's base context.
+// Idempotent; safe on nil.
 func (t *Tracer) Close() {
 	if t == nil {
 		return
 	}
 	t.root.End()
-	pprof.SetGoroutineLabels(context.Background())
+	base := t.base
+	if base == nil {
+		base = context.Background()
+	}
+	pprof.SetGoroutineLabels(base)
 }
 
 // End closes the span: it fixes the duration, closes any descendants
@@ -202,6 +217,16 @@ func (s *Span) Attr(key string) (any, bool) {
 		}
 	}
 	return nil, false
+}
+
+// Context returns the pprof label context installed while the span is
+// open (context.Background() for nil). Useful for handing the span's
+// labels to helper goroutines via pprof.Do.
+func (s *Span) Context() context.Context {
+	if s == nil || s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
 }
 
 // Find returns the first descendant span (depth-first, including s)

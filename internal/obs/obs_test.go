@@ -2,7 +2,9 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"runtime/pprof"
 	"testing"
 	"time"
 )
@@ -163,6 +165,28 @@ func TestTraceJSONSchema(t *testing.T) {
 	attrs := tree.Root.Children[0].Attrs
 	if attrs["violated"] != 7.0 || attrs["engine"] != "revised" {
 		t.Errorf("attrs = %v", attrs)
+	}
+}
+
+// TestTracerCtxLabels: spans layer their lubt_span label on top of the
+// base context's labels, and Close restores the base rather than wiping
+// the goroutine clean.
+func TestTracerCtxLabels(t *testing.T) {
+	base := pprof.WithLabels(context.Background(), pprof.Labels("lubt_route", "/solve"))
+	tr := NewTracerCtx(base, "serve-solve")
+	sp := tr.Start("build")
+	if v, ok := pprof.Label(sp.Context(), "lubt_route"); !ok || v != "/solve" {
+		t.Errorf("span lost the base label: %q %v", v, ok)
+	}
+	if v, ok := pprof.Label(sp.Context(), "lubt_span"); !ok || v != "build" {
+		t.Errorf("span label = %q %v", v, ok)
+	}
+	sp.End()
+	tr.Close()
+	// A nil span hands back a usable background context.
+	var nilSp *Span
+	if nilSp.Context() == nil {
+		t.Error("nil span Context returned nil")
 	}
 }
 

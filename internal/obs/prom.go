@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promNamespace prefixes every metric name in the text exposition, so
+// lubtd's series never collide with another job's on a shared scrape.
+const promNamespace = "lubtd_"
+
+// promName maps a registry name to a legal Prometheus metric name:
+// namespace prefix plus any character outside [a-zA-Z0-9_:] replaced
+// by '_'. Registry names are already snake_case, so in practice this
+// is just the prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promNamespace)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value: shortest round-trip decimal, with
+// the exposition-format spellings of the infinities.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabelEscape escapes a label value per the exposition format
+// (backslash, double quote and newline).
+func promLabelEscape(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders an info gauge's label set ("" when empty).
+func promLabels(labels []InfoLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(l.Key)[len(promNamespace):]) // sanitize, no namespace on label keys
+		b.WriteString(`="`)
+		b.WriteString(promLabelEscape(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4): every counter and gauge as a single sample,
+// info gauges with their identity labels, and every histogram as the
+// conventional cumulative series — `name_bucket{le="..."}` lines ending
+// at le="+Inf", then `name_sum` and `name_count`. Names are prefixed
+// `lubtd_` and emitted in sorted order, so output is deterministic for
+// a given state. Calling it on a nil registry is an error, mirroring
+// WriteJSON.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	if m == nil {
+		return fmt.Errorf("obs: WriteProm on a disabled metrics registry")
+	}
+	counters, gauges := m.Snapshot()
+	m.mu.Lock()
+	infos := make(map[string][]InfoLabel, len(m.infos))
+	for k, v := range m.infos {
+		infos[k] = append([]InfoLabel(nil), v...)
+	}
+	m.mu.Unlock()
+	hists := m.histogramRefs()
+
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " counter\n")
+		bw.WriteString(pn + " " + strconv.FormatInt(counters[name], 10) + "\n")
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + promLabels(infos[name]) + " " + strconv.FormatInt(gauges[name], 10) + "\n")
+	}
+	for _, name := range sortedKeys(hists) {
+		pn := promName(name)
+		snap := hists[name].Snapshot()
+		bw.WriteString("# TYPE " + pn + " histogram\n")
+		wroteInf := false
+		for _, b := range snap.Buckets {
+			bw.WriteString(pn + `_bucket{le="` + promFloat(b.LE) + `"} ` +
+				strconv.FormatUint(b.Count, 10) + "\n")
+			wroteInf = wroteInf || math.IsInf(b.LE, 1)
+		}
+		if !wroteInf { // empty histogram: the +Inf bucket is still mandatory
+			bw.WriteString(pn + `_bucket{le="+Inf"} ` + strconv.FormatUint(snap.Count, 10) + "\n")
+		}
+		bw.WriteString(pn + "_sum " + promFloat(snap.Sum) + "\n")
+		bw.WriteString(pn + "_count " + strconv.FormatUint(snap.Count, 10) + "\n")
+	}
+	return bw.Flush()
+}
+
+// sortedKeys returns the map's keys in increasing order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

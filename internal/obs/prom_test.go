@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePromParseBack is the exposition golden test: write a
+// populated registry, parse the text back line by line, and check the
+// format invariants — TYPE lines, cumulative monotone _bucket series
+// ending at le="+Inf", _count agreement, info-gauge labels.
+func TestWritePromParseBack(t *testing.T) {
+	m := NewMetrics()
+	m.Add("requests_total", 7)
+	m.SetGauge("workers", 4)
+	m.SetInfo("build_info",
+		InfoLabel{Key: "go_version", Value: "go1.x"},
+		InfoLabel{Key: "revision", Value: `weird"rev\n`})
+	h := m.Histogram("solve_seconds_cold")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.01)
+	}
+	m.Histogram("solve_seconds_warm_hit") // empty: still must expose +Inf/_sum/_count
+
+	var buf bytes.Buffer
+	if err := m.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	types := map[string]string{}
+	samples := map[string]float64{} // full sample line name{labels} → value
+	type bkt struct {
+		le  string
+		cum float64
+	}
+	buckets := map[string][]bkt{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		var val float64
+		if valStr == "+Inf" {
+			val = 1e308
+		} else {
+			var err error
+			val, err = strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+		samples[key] = val
+		if i := strings.Index(key, `_bucket{le="`); i >= 0 {
+			name := key[:i]
+			le := strings.TrimSuffix(key[i+len(`_bucket{le="`):], `"}`)
+			buckets[name] = append(buckets[name], bkt{le: le, cum: val})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if types["lubtd_requests_total"] != "counter" || samples["lubtd_requests_total"] != 7 {
+		t.Errorf("counter exposition wrong: type=%q val=%v",
+			types["lubtd_requests_total"], samples["lubtd_requests_total"])
+	}
+	if types["lubtd_workers"] != "gauge" || samples["lubtd_workers"] != 4 {
+		t.Errorf("gauge exposition wrong")
+	}
+	// Info gauge renders its labels, escaped.
+	wantInfo := `lubtd_build_info{go_version="go1.x",revision="weird\"rev\\n"}`
+	if v, ok := samples[wantInfo]; !ok || v != 1 {
+		t.Errorf("info gauge missing or wrong; samples: %v", samples)
+	}
+
+	for _, name := range []string{"lubtd_solve_seconds_cold", "lubtd_solve_seconds_warm_hit"} {
+		if types[name] != "histogram" {
+			t.Fatalf("%s: TYPE = %q, want histogram", name, types[name])
+		}
+		bs := buckets[name]
+		if len(bs) == 0 {
+			t.Fatalf("%s: no _bucket series", name)
+		}
+		if bs[len(bs)-1].le != "+Inf" {
+			t.Fatalf("%s: last bucket le = %q, want +Inf", name, bs[len(bs)-1].le)
+		}
+		prevLE := -1.0
+		prevCum := -1.0
+		for _, b := range bs {
+			le := 1e308
+			if b.le != "+Inf" {
+				var err error
+				le, err = strconv.ParseFloat(b.le, 64)
+				if err != nil {
+					t.Fatalf("%s: unparseable le %q", name, b.le)
+				}
+			}
+			if le <= prevLE || b.cum < prevCum {
+				t.Fatalf("%s: bucket series not monotone: %+v", name, bs)
+			}
+			prevLE, prevCum = le, b.cum
+		}
+		count, ok := samples[name+"_count"]
+		if !ok || bs[len(bs)-1].cum != count {
+			t.Fatalf("%s: +Inf bucket %v != _count %v", name, bs[len(bs)-1].cum, count)
+		}
+		if _, ok := samples[name+"_sum"]; !ok {
+			t.Fatalf("%s: missing _sum", name)
+		}
+	}
+	if samples["lubtd_solve_seconds_cold_count"] != 100 {
+		t.Errorf("cold count = %v, want 100", samples["lubtd_solve_seconds_cold_count"])
+	}
+	if samples["lubtd_solve_seconds_warm_hit_count"] != 0 {
+		t.Errorf("empty histogram count = %v, want 0", samples["lubtd_solve_seconds_warm_hit_count"])
+	}
+
+	// Nil registry refuses, like WriteJSON.
+	var nilM *Metrics
+	if err := nilM.WriteProm(&bytes.Buffer{}); err == nil {
+		t.Error("WriteProm on nil registry did not error")
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
@@ -8,6 +9,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"lubt"
 	"lubt/internal/obs"
@@ -235,10 +238,11 @@ func requestKey(sinks []lubt.Point, source *lubt.Point, parent []int, pricing st
 	return "t:" + hex.EncodeToString(h.Sum(nil)[:12])
 }
 
-// requiredCounters and requiredGauges are the metric names every
-// /metrics document must carry; the name set is append-only within
-// lubtd-metrics/1 (additions are fine, removals/renames bump the major
-// version). docs/API.md documents each name.
+// requiredCounters, requiredGauges and requiredHistograms are the
+// metric names every /metrics document must carry; the name sets are
+// append-only within lubtd-metrics/2 (additions are fine,
+// removals/renames bump the major version). docs/API.md documents each
+// name.
 var requiredCounters = []string{
 	"requests_total", "solve_requests", "eco_requests",
 	"cache_hits", "cache_misses", "cache_evictions", "cache_bypass",
@@ -246,20 +250,81 @@ var requiredCounters = []string{
 	"solve_errors", "infeasible_total", "restages_total",
 }
 
-var requiredGauges = []string{"workers", "inflight", "cache_size", "cache_capacity"}
+var requiredGauges = []string{
+	"workers", "inflight", "cache_size", "cache_capacity",
+	"build_info", "uptime_seconds",
+}
 
-// ValidateMetricsJSON checks that data is a well-formed lubtd-metrics/1
+var requiredHistograms = []string{
+	"queue_wait_seconds", "build_seconds",
+	"solve_seconds_cold", "solve_seconds_warm_hit", "solve_seconds_warm_eco",
+	"solve_pivots_cold", "solve_pivots_warm_hit", "solve_pivots_warm_eco",
+	"restages_warm_hit", "restages_warm_eco",
+}
+
+// metricsHistogramDoc is one histogram in a lubtd-metrics/2 document as
+// the validators decode it.
+type metricsHistogramDoc struct {
+	Count   uint64  `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	P50     float64 `json:"p50"`
+	P99     float64 `json:"p99"`
+	Buckets []struct {
+		LE    float64 `json:"le"`
+		Count uint64  `json:"count"`
+	} `json:"buckets"`
+}
+
+// validateHistogramDoc checks one histogram's internal consistency: the
+// cumulative bucket series is monotone in both boundary and count, the
+// series never exceeds the total (finite boundaries only — overflow
+// samples live past the last JSON bucket), and the scalar summaries
+// are ordered.
+func validateHistogramDoc(name string, h metricsHistogramDoc) error {
+	prevLE := math.Inf(-1)
+	var prevCum uint64
+	for i, b := range h.Buckets {
+		if math.IsNaN(b.LE) || math.IsInf(b.LE, 0) {
+			return fmt.Errorf("histogram %q bucket %d: boundary %v is not finite", name, i, b.LE)
+		}
+		if b.LE <= prevLE {
+			return fmt.Errorf("histogram %q bucket %d: boundary %v not increasing", name, i, b.LE)
+		}
+		if b.Count < prevCum {
+			return fmt.Errorf("histogram %q bucket %d: cumulative count %d decreased", name, i, b.Count)
+		}
+		prevLE, prevCum = b.LE, b.Count
+	}
+	if prevCum > h.Count {
+		return fmt.Errorf("histogram %q: bucket series %d exceeds count %d", name, prevCum, h.Count)
+	}
+	if h.Count > 0 {
+		if h.Min > h.Max {
+			return fmt.Errorf("histogram %q: min %v > max %v", name, h.Min, h.Max)
+		}
+		if h.P50 > h.P99 {
+			return fmt.Errorf("histogram %q: p50 %v > p99 %v", name, h.P50, h.P99)
+		}
+	}
+	return nil
+}
+
+// ValidateMetricsJSON checks that data is a well-formed lubtd-metrics/2
 // document: strict top-level key set, correct schema string, every
-// required counter and gauge present, counters non-negative and the
-// gauges inside their structural ranges. It backs the ci.sh lubtd-smoke
+// required counter, gauge and histogram present, counters non-negative,
+// the gauges inside their structural ranges, and every histogram's
+// cumulative bucket series monotone. It backs the ci.sh lubtd-smoke
 // gate the way experiments.ValidateBenchJSON backs the bench smoke.
 func ValidateMetricsJSON(data []byte) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var doc struct {
-		Schema   string           `json:"schema"`
-		Counters map[string]int64 `json:"counters"`
-		Gauges   map[string]int64 `json:"gauges"`
+		Schema     string                         `json:"schema"`
+		Counters   map[string]int64               `json:"counters"`
+		Gauges     map[string]int64               `json:"gauges"`
+		Histograms map[string]metricsHistogramDoc `json:"histograms"`
 	}
 	if err := dec.Decode(&doc); err != nil {
 		return fmt.Errorf("metrics json: %w", err)
@@ -293,6 +358,257 @@ func ValidateMetricsJSON(data []byte) error {
 	if doc.Gauges["cache_size"] > doc.Gauges["cache_capacity"] {
 		return fmt.Errorf("metrics json: cache_size %d exceeds cache_capacity %d",
 			doc.Gauges["cache_size"], doc.Gauges["cache_capacity"])
+	}
+	if doc.Gauges["build_info"] != 1 {
+		return fmt.Errorf("metrics json: build_info gauge = %d, want 1", doc.Gauges["build_info"])
+	}
+	if doc.Gauges["uptime_seconds"] < 0 {
+		return fmt.Errorf("metrics json: negative uptime_seconds gauge")
+	}
+	for _, name := range requiredHistograms {
+		h, ok := doc.Histograms[name]
+		if !ok {
+			return fmt.Errorf("metrics json: missing histogram %q", name)
+		}
+		if err := validateHistogramDoc(name, h); err != nil {
+			return fmt.Errorf("metrics json: %w", err)
+		}
+	}
+	for name, h := range doc.Histograms {
+		if err := validateHistogramDoc(name, h); err != nil {
+			return fmt.Errorf("metrics json: %w", err)
+		}
+	}
+	return nil
+}
+
+// ValidatePromText checks that data is a well-formed Prometheus text
+// exposition of the lubtd registry: every line is a comment or a
+// `name[{labels}] value` sample, every required counter/gauge/histogram
+// appears under its `lubtd_` name, each TYPE is declared before its
+// samples, and every histogram's `_bucket` series is cumulative,
+// monotone and ends at le="+Inf" agreeing with `_count`. It backs the
+// ci.sh prom-scrape gate.
+func ValidatePromText(data []byte) error {
+	types := map[string]string{}
+	values := map[string]float64{} // bare (unlabeled) samples
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	buckets := map[string][]bucket{}
+	labeled := map[string]bool{} // names seen with a non-le label set
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				parts := strings.Fields(line)
+				if len(parts) != 4 {
+					return fmt.Errorf("prom text line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("prom text line %d: unknown type %q", lineNo, parts[3])
+				}
+				types[parts[2]] = parts[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("prom text line %d: no sample value in %q", lineNo, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := parsePromValue(valStr)
+		if err != nil {
+			return fmt.Errorf("prom text line %d: %v", lineNo, err)
+		}
+		name := key
+		labels := ""
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return fmt.Errorf("prom text line %d: unterminated label set in %q", lineNo, line)
+			}
+			name, labels = key[:i], key[i+1:len(key)-1]
+		}
+		if !promNameOK(name) {
+			return fmt.Errorf("prom text line %d: illegal metric name %q", lineNo, name)
+		}
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok && strings.HasPrefix(labels, `le="`) {
+			leStr := strings.TrimSuffix(strings.TrimPrefix(labels, `le="`), `"`)
+			le, err := parsePromValue(leStr)
+			if err != nil {
+				return fmt.Errorf("prom text line %d: bad le %q", lineNo, leStr)
+			}
+			buckets[base] = append(buckets[base], bucket{le: le, cum: val})
+			continue
+		}
+		if labels != "" {
+			labeled[name] = true
+			continue
+		}
+		values[name] = val
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("prom text: %w", err)
+	}
+
+	for _, name := range requiredCounters {
+		pn := "lubtd_" + name
+		if types[pn] != "counter" {
+			return fmt.Errorf("prom text: %s not declared as counter", pn)
+		}
+		if v, ok := values[pn]; !ok || v < 0 {
+			return fmt.Errorf("prom text: counter %s missing or negative", pn)
+		}
+	}
+	for _, name := range requiredGauges {
+		pn := "lubtd_" + name
+		if types[pn] != "gauge" {
+			return fmt.Errorf("prom text: %s not declared as gauge", pn)
+		}
+		if _, ok := values[pn]; !ok && !labeled[pn] {
+			return fmt.Errorf("prom text: gauge %s missing", pn)
+		}
+	}
+	for _, name := range requiredHistograms {
+		pn := "lubtd_" + name
+		if types[pn] != "histogram" {
+			return fmt.Errorf("prom text: %s not declared as histogram", pn)
+		}
+		bs := buckets[pn]
+		if len(bs) == 0 {
+			return fmt.Errorf("prom text: histogram %s has no _bucket series", pn)
+		}
+		prevLE := math.Inf(-1)
+		prevCum := -1.0
+		for i, b := range bs {
+			if b.le <= prevLE {
+				return fmt.Errorf("prom text: %s_bucket boundary %v not increasing (entry %d)", pn, b.le, i)
+			}
+			if b.cum < prevCum {
+				return fmt.Errorf("prom text: %s_bucket cumulative count decreased at le=%v", pn, b.le)
+			}
+			prevLE, prevCum = b.le, b.cum
+		}
+		if !math.IsInf(bs[len(bs)-1].le, 1) {
+			return fmt.Errorf("prom text: %s_bucket series does not end at le=\"+Inf\"", pn)
+		}
+		count, ok := values[pn+"_count"]
+		if !ok {
+			return fmt.Errorf("prom text: missing %s_count", pn)
+		}
+		if bs[len(bs)-1].cum != count {
+			return fmt.Errorf("prom text: %s +Inf bucket %v != _count %v", pn, bs[len(bs)-1].cum, count)
+		}
+		if _, ok := values[pn+"_sum"]; !ok {
+			return fmt.Errorf("prom text: missing %s_sum", pn)
+		}
+	}
+	return nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func promNameOK(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateFlightJSON checks that data is a well-formed lubtd-flight/1
+// document: strict key set, correct schema, entries within capacity,
+// legal routes/outcomes/statuses, and every embedded trace a
+// lubt-trace/1 document. It backs the ci.sh flight-scrape gate.
+func ValidateFlightJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var doc struct {
+		Schema   string `json:"schema"`
+		Capacity int    `json:"capacity"`
+		Dropped  uint64 `json:"dropped"`
+		Entries  []struct {
+			ID          string `json:"id"`
+			Route       string `json:"route"`
+			Outcome     string `json:"outcome"`
+			Status      int    `json:"status"`
+			StartUnixUS int64  `json:"start_unix_us"`
+			DurUS       int64  `json:"dur_us"`
+			Trace       *struct {
+				Schema string          `json:"schema"`
+				Root   json.RawMessage `json:"root"`
+			} `json:"trace"`
+		} `json:"entries"`
+	}
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("flight json: %w", err)
+	}
+	if doc.Schema != obs.FlightSchema {
+		return fmt.Errorf("flight json: schema %q, want %q", doc.Schema, obs.FlightSchema)
+	}
+	if doc.Capacity < 1 {
+		return fmt.Errorf("flight json: capacity %d, want ≥ 1", doc.Capacity)
+	}
+	if len(doc.Entries) > doc.Capacity {
+		return fmt.Errorf("flight json: %d entries exceed capacity %d", len(doc.Entries), doc.Capacity)
+	}
+	for i, e := range doc.Entries {
+		if e.ID == "" {
+			return fmt.Errorf("flight json: entry %d has no id", i)
+		}
+		if e.Route != "/solve" && e.Route != "/eco" {
+			return fmt.Errorf("flight json: entry %d route %q is not a solver route", i, e.Route)
+		}
+		switch e.Outcome {
+		case "cold", "warm_hit", "warm_eco", "error":
+		default:
+			return fmt.Errorf("flight json: entry %d outcome %q unknown", i, e.Outcome)
+		}
+		if e.Status < 100 || e.Status > 599 {
+			return fmt.Errorf("flight json: entry %d status %d out of range", i, e.Status)
+		}
+		if e.DurUS < 0 {
+			return fmt.Errorf("flight json: entry %d negative duration", i)
+		}
+		if e.Trace != nil {
+			if e.Trace.Schema != obs.TraceSchema {
+				return fmt.Errorf("flight json: entry %d trace schema %q, want %q", i, e.Trace.Schema, obs.TraceSchema)
+			}
+			if len(e.Trace.Root) == 0 {
+				return fmt.Errorf("flight json: entry %d trace has no root span", i)
+			}
+		}
 	}
 	return nil
 }

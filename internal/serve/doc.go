@@ -17,9 +17,20 @@
 // key queue and re-solve one after another, each warm from the basis the
 // previous one left behind. The cache is a bounded LRU — evicted
 // sessions are closed once their in-flight request (if any) finishes.
-// Solves run under a bounded worker pool (GOMAXPROCS slots by default);
-// /metrics serves the lubtd-metrics/1 counter document that
-// ValidateMetricsJSON checks in the ci.sh smoke.
+// Solves run under a bounded worker pool (GOMAXPROCS slots by default).
+//
+// Telemetry: /metrics serves the lubtd-metrics/2 document (counters,
+// gauges, and latency/pivot histograms split by cache outcome — cold,
+// warm_hit, warm_eco) that ValidateMetricsJSON checks in the ci.sh
+// smoke, and the same registry as a Prometheus text exposition under
+// ?format=prom (ValidatePromText). Every /solve and /eco request runs
+// under an always-on tracer feeding a bounded flight-recorder ring
+// (/debug/flight, lubtd-flight/1, ValidateFlightJSON) and gets a
+// request id correlating the X-Request-Id header, the slog access log,
+// the flight entry and any slow-solve report (Config.SlowSolve).
+// Profiles segment by route, request and cache outcome via pprof labels
+// (lubt_route, lubt_req, lubt_cache); net/http/pprof mounts under
+// /debug/pprof/ when Config.EnablePprof is set.
 //
 // The wire contract — routes, schemas, error codes, metric names — is
 // documented in docs/API.md; the serving architecture (request

@@ -2,11 +2,20 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	httppprof "net/http/pprof"
 	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
 
 	"lubt"
 	"lubt/internal/obs"
@@ -16,9 +25,24 @@ import (
 // it zero.
 const DefaultCacheSize = 64
 
+// DefaultFlightSize is the flight-recorder ring capacity when Config
+// leaves it zero.
+const DefaultFlightSize = 64
+
 // maxBodyBytes bounds a request body (custom instances with tens of
 // thousands of sinks fit comfortably; unbounded bodies do not).
 const maxBodyBytes = 64 << 20
+
+// Cache outcomes as recorded in histograms, flight entries and pprof
+// labels. "cold" covers both cache misses and explicit bypasses (the
+// work done is the same full solve); requests that error before an
+// outcome is committed record as "error".
+const (
+	outcomeCold    = "cold"
+	outcomeWarmHit = "warm_hit"
+	outcomeWarmEco = "warm_eco"
+	outcomeError   = "error"
+)
 
 // Config tunes a Server.
 type Config struct {
@@ -29,6 +53,26 @@ type Config struct {
 	// CacheSize bounds the warm-basis session cache (LRU entries);
 	// 0 means DefaultCacheSize.
 	CacheSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling endpoints expose process internals and
+	// belong behind an operator's explicit flag.
+	EnablePprof bool
+	// FlightSize bounds the flight-recorder ring (last N completed
+	// solver requests); 0 means DefaultFlightSize.
+	FlightSize int
+	// SlowSolve, when positive, logs any /solve or /eco request that
+	// takes at least this long at Warn level with its full span tree.
+	SlowSolve time.Duration
+	// Logger receives access logs and slow-solve reports; nil discards.
+	Logger *slog.Logger
+}
+
+// solveHists groups the per-outcome histograms (restages is nil for the
+// cold outcome — nothing is restaged on a cold solve).
+type solveHists struct {
+	seconds  *obs.Histogram
+	pivots   *obs.Histogram
+	restages *obs.Histogram
 }
 
 // Server is the lubtd HTTP service: JSON solve requests over the public
@@ -36,21 +80,32 @@ type Config struct {
 // that turns repeat solves on a topology into warm dual re-solves.
 // Construct with New; it implements http.Handler.
 type Server struct {
-	workers int
-	metrics *obs.Metrics
-	cache   *cache
-	mux     *http.ServeMux
-	sem     chan struct{}
+	workers   int
+	metrics   *obs.Metrics
+	cache     *cache
+	mux       *http.ServeMux
+	sem       chan struct{}
+	log       *slog.Logger
+	flight    *obs.FlightRecorder
+	start     time.Time
+	slowSolve time.Duration
+	reqSeq    atomic.Uint64
+
+	hQueueWait *obs.Histogram
+	hBuild     *obs.Histogram
+	hOutcome   map[string]solveHists
 }
 
-// Routes lists every HTTP route the server registers. docs/API.md must
-// document each one — TestAPIDocRoutes gates that.
+// Routes lists every HTTP route the server can register. docs/API.md
+// must document each one — TestAPIDocRoutes gates that. /debug/pprof/
+// is only mounted when Config.EnablePprof is set.
 func Routes() []string {
-	return []string{"/solve", "/eco", "/metrics", "/healthz"}
+	return []string{"/solve", "/eco", "/metrics", "/healthz", "/debug/flight", "/debug/pprof/"}
 }
 
-// New builds a Server. Every required metric name is pre-seeded so
-// /metrics validates before the first request.
+// New builds a Server. Every required metric name — counters, gauges
+// and histograms — is pre-seeded so /metrics validates before the first
+// request.
 func New(cfg Config) *Server {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -60,25 +115,80 @@ func New(cfg Config) *Server {
 	if size <= 0 {
 		size = DefaultCacheSize
 	}
+	flightSize := cfg.FlightSize
+	if flightSize <= 0 {
+		flightSize = DefaultFlightSize
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	m := obs.NewMetrics()
 	s := &Server{
-		workers: workers,
-		metrics: m,
-		cache:   newCache(size, m),
-		sem:     make(chan struct{}, workers),
+		workers:   workers,
+		metrics:   m,
+		cache:     newCache(size, m),
+		sem:       make(chan struct{}, workers),
+		log:       logger,
+		flight:    obs.NewFlightRecorder(flightSize),
+		start:     time.Now(),
+		slowSolve: cfg.SlowSolve,
 	}
 	m.SetGauge("workers", int64(workers))
 	m.SetGauge("inflight", 0)
+	m.SetGauge("uptime_seconds", 0)
+	m.SetInfo("build_info",
+		obs.InfoLabel{Key: "go_version", Value: runtime.Version()},
+		obs.InfoLabel{Key: "revision", Value: vcsRevision()})
 	for _, name := range requiredCounters {
 		m.Add(name, 0)
 	}
+	s.hQueueWait = m.Histogram("queue_wait_seconds")
+	s.hBuild = m.Histogram("build_seconds")
+	s.hOutcome = map[string]solveHists{
+		outcomeCold: {
+			seconds: m.Histogram("solve_seconds_cold"),
+			pivots:  m.Histogram("solve_pivots_cold"),
+		},
+		outcomeWarmHit: {
+			seconds:  m.Histogram("solve_seconds_warm_hit"),
+			pivots:   m.Histogram("solve_pivots_warm_hit"),
+			restages: m.Histogram("restages_warm_hit"),
+		},
+		outcomeWarmEco: {
+			seconds:  m.Histogram("solve_seconds_warm_eco"),
+			pivots:   m.Histogram("solve_pivots_warm_eco"),
+			restages: m.Histogram("restages_warm_eco"),
+		},
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", s.instrument(s.handleSolve))
-	mux.HandleFunc("/eco", s.instrument(s.handleEco))
+	mux.HandleFunc("/solve", s.instrumentSolver("/solve", s.handleSolve))
+	mux.HandleFunc("/eco", s.instrumentSolver("/eco", s.handleEco))
 	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("/debug/flight", s.instrument(s.handleFlight))
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	s.mux = mux
 	return s
+}
+
+// vcsRevision returns the VCS commit baked into the binary by the go
+// tool, or "unknown" (tests and `go run` builds carry no stamp).
+func vcsRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // ServeHTTP implements http.Handler.
@@ -88,6 +198,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // in-process consumers and tests.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
+// Flight exposes the flight recorder (the /debug/flight source) for
+// in-process consumers — cmd/lubtd dumps it on SIGQUIT.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
 // CacheLen reports the number of warm sessions currently held.
 func (s *Server) CacheLen() int { return s.cache.len() }
 
@@ -95,6 +209,39 @@ func (s *Server) CacheLen() int { return s.cache.len() }
 // has drained (http.Server.Shutdown); in-use sessions are closed as
 // their requests finish.
 func (s *Server) Close() { s.cache.closeAll() }
+
+// reqState is the per-request observability context threaded through
+// the solver handlers: the request id correlating access log, flight
+// entry and trace; the always-on tracer; and the cache outcome once a
+// path commits to one.
+type reqState struct {
+	id      string
+	route   string
+	start   time.Time
+	tr      *obs.Tracer
+	outcome string
+}
+
+// statusWriter captures the status code written by a handler for the
+// access log and flight entry.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
 
 // instrument counts the request and converts handler panics into 500s —
 // a daemon must not die because one request hit an engine invariant.
@@ -109,6 +256,77 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 		}()
 		h(w, r)
 	}
+}
+
+// instrumentSolver is instrument plus the full per-request
+// observability for the solver routes: request id (echoed as
+// X-Request-Id), pprof labels segmenting profiles by route and request,
+// the always-on flight-recorder entry, the access log, and the
+// slow-solve report.
+func (s *Server) instrumentSolver(route string, h func(http.ResponseWriter, *http.Request, *reqState)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Inc("requests_total")
+		st := &reqState{id: fmt.Sprintf("r%06d", s.reqSeq.Add(1)), route: route, start: time.Now()}
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-Id", st.id)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Inc("solve_errors")
+				writeError(sw, &httpError{status: 500, code: "internal", detail: "panic while serving request"})
+			}
+			s.finishRequest(sw, st)
+		}()
+		pprof.Do(r.Context(), pprof.Labels("lubt_route", route, "lubt_req", st.id), func(ctx context.Context) {
+			h(sw, r.WithContext(ctx), st)
+		})
+	}
+}
+
+// finishRequest completes a solver request's observability: closes the
+// trace, records the flight entry, writes the access log line, and
+// reports over-budget requests with their full span tree.
+func (s *Server) finishRequest(sw *statusWriter, st *reqState) {
+	st.tr.Close()
+	dur := time.Since(st.start)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	outcome := st.outcome
+	if outcome == "" {
+		outcome = outcomeError
+	}
+	s.flight.Record(obs.FlightEntry{
+		ID: st.id, Route: st.route, Outcome: outcome, Status: status,
+		Start: st.start, Duration: dur, Root: st.tr.Root(),
+	})
+	durMS := float64(dur) / float64(time.Millisecond)
+	s.log.Info("request",
+		slog.String("id", st.id), slog.String("route", st.route),
+		slog.Int("status", status), slog.String("outcome", outcome),
+		slog.Float64("dur_ms", durMS))
+	if s.slowSolve > 0 && dur >= s.slowSolve && st.tr.Enabled() {
+		attrs := []any{
+			slog.String("id", st.id), slog.String("route", st.route),
+			slog.Float64("dur_ms", durMS),
+			slog.Float64("threshold_ms", float64(s.slowSolve)/float64(time.Millisecond)),
+		}
+		var buf bytes.Buffer
+		if err := st.tr.WriteJSON(&buf); err == nil {
+			var compact bytes.Buffer
+			if json.Compact(&compact, buf.Bytes()) == nil {
+				attrs = append(attrs, slog.String("trace", compact.String()))
+			}
+		}
+		s.log.Warn("slow solve", attrs...)
+	}
+}
+
+// labelOutcome layers the lubt_cache outcome label onto the current
+// span's pprof labels, so CPU profiles segment cold vs warm work. The
+// label lives until the span ends (End restores the parent's labels).
+func labelOutcome(sp *obs.Span, outcome string) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(sp.Context(), pprof.Labels("lubt_cache", outcome)))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -189,7 +407,7 @@ func (s *Server) countError(herr *httpError) {
 	}
 }
 
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, st *reqState) {
 	if !requirePost(w, r) {
 		return
 	}
@@ -200,11 +418,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
-	var tr *obs.Tracer
-	if req.Trace {
-		tr = obs.NewTracer("serve-solve")
-	}
-	sp := tr.Start("queue-wait")
+	// The tracer is always on for solver routes — it feeds the flight
+	// recorder and the slow-solve report; the response only carries the
+	// trace when the client asked for it.
+	st.tr = obs.NewTracerCtx(r.Context(), "serve-solve")
+	qStart := time.Now()
+	sp := st.tr.Start("queue-wait")
 	if herr := s.acquireSlot(r); herr != nil {
 		s.countError(herr)
 		writeError(w, herr)
@@ -212,13 +431,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseSlot()
 	sp.End()
-	resp, herr := s.solve(&req, tr)
+	s.hQueueWait.ObserveDuration(time.Since(qStart))
+	resp, herr := s.solve(&req, st)
 	if herr != nil {
 		s.countError(herr)
 		writeError(w, herr)
 		return
 	}
-	attachTrace(resp, tr)
+	if req.Trace {
+		attachTrace(resp, st.tr)
+	}
 	writeJSON(w, 200, resp)
 }
 
@@ -305,7 +527,9 @@ func mapSolveErr(err error) *httpError {
 
 // solve runs one /solve request end to end: build, key, then the cold,
 // warm or bypass path.
-func (s *Server) solve(req *SolveRequest, tr *obs.Tracer) (*SolveResponse, *httpError) {
+func (s *Server) solve(req *SolveRequest, st *reqState) (*SolveResponse, *httpError) {
+	tr := st.tr
+	bStart := time.Now()
 	sp := tr.Start("build")
 	inst, sinks, source, parent, herr := s.buildInstance(req)
 	if herr != nil {
@@ -339,10 +563,11 @@ func (s *Server) solve(req *SolveRequest, tr *obs.Tracer) (*SolveResponse, *http
 	key := requestKey(sinks, source, parent, req.Pricing)
 	sp.SetInt("nodes", len(parent))
 	sp.End()
+	s.hBuild.ObserveDuration(time.Since(bStart))
 
 	opts := &lubt.Options{Pricing: req.Pricing, Weights: req.Weights}
 	if req.Cold {
-		return s.solveBypass(inst, b, opts, key, radius, "bypass", tr)
+		return s.solveBypass(inst, b, opts, key, radius, "bypass", st)
 	}
 	for attempt := 0; attempt < 2; attempt++ {
 		e, _ := s.cache.acquire(key)
@@ -354,22 +579,25 @@ func (s *Server) solve(req *SolveRequest, tr *obs.Tracer) (*SolveResponse, *http
 			continue
 		}
 		if e.solved == nil {
-			resp, herr := s.solveColdFill(e, inst, b, opts, req, key, radius, tr)
+			resp, herr := s.solveColdFill(e, inst, b, opts, req, key, radius, st)
 			e.mu.Unlock()
 			return resp, herr
 		}
-		resp, herr := s.solveWarmHit(e, b, req.Weights, len(parent), key, tr)
+		resp, herr := s.solveWarmHit(e, b, req.Weights, len(parent), key, st)
 		e.mu.Unlock()
 		return resp, herr
 	}
-	return s.solveBypass(inst, b, opts, key, radius, "bypass", tr)
+	return s.solveBypass(inst, b, opts, key, radius, "bypass", st)
 }
 
 // solveBypass is the uncached cold path (explicit Cold requests, or a
 // request that twice raced cache evictions).
-func (s *Server) solveBypass(inst *lubt.Instance, b lubt.Bounds, opts *lubt.Options, key string, radius float64, state string, tr *obs.Tracer) (*SolveResponse, *httpError) {
-	sp := tr.Start("solve")
+func (s *Server) solveBypass(inst *lubt.Instance, b lubt.Bounds, opts *lubt.Options, key string, radius float64, state string, st *reqState) (*SolveResponse, *httpError) {
+	st.outcome = outcomeCold
+	start := time.Now()
+	sp := st.tr.Start("solve")
 	sp.SetString("cache", state)
+	labelOutcome(sp, outcomeCold)
 	tree, err := inst.Solve(b, opts)
 	sp.End()
 	if err != nil {
@@ -378,6 +606,9 @@ func (s *Server) solveBypass(inst *lubt.Instance, b lubt.Bounds, opts *lubt.Opti
 	pivots := tree.Stats.LPIterations
 	s.metrics.Inc("cache_bypass")
 	s.metrics.Add("cold_pivots_total", int64(pivots))
+	oh := s.hOutcome[outcomeCold]
+	oh.seconds.ObserveDuration(time.Since(start))
+	oh.pivots.Observe(float64(pivots))
 	return &SolveResponse{
 		Key: key, Cache: state,
 		Pivots: pivots, ColdPivots: pivots,
@@ -388,9 +619,12 @@ func (s *Server) solveBypass(inst *lubt.Instance, b lubt.Bounds, opts *lubt.Opti
 
 // solveColdFill owns a pending cache entry: run the cold solve, park
 // the warm session in the entry. Caller holds e.mu.
-func (s *Server) solveColdFill(e *entry, inst *lubt.Instance, b lubt.Bounds, opts *lubt.Options, req *SolveRequest, key string, radius float64, tr *obs.Tracer) (*SolveResponse, *httpError) {
-	sp := tr.Start("solve")
+func (s *Server) solveColdFill(e *entry, inst *lubt.Instance, b lubt.Bounds, opts *lubt.Options, req *SolveRequest, key string, radius float64, st *reqState) (*SolveResponse, *httpError) {
+	st.outcome = outcomeCold
+	start := time.Now()
+	sp := st.tr.Start("solve")
 	sp.SetString("cache", "miss")
+	labelOutcome(sp, outcomeCold)
 	solved, err := inst.SolveECO(b, opts)
 	if err != nil {
 		sp.End()
@@ -411,6 +645,9 @@ func (s *Server) solveColdFill(e *entry, inst *lubt.Instance, b lubt.Bounds, opt
 	sp.End()
 	s.metrics.Inc("cache_misses")
 	s.metrics.Add("cold_pivots_total", int64(e.coldPivots))
+	oh := s.hOutcome[outcomeCold]
+	oh.seconds.ObserveDuration(time.Since(start))
+	oh.pivots.Observe(float64(e.coldPivots))
 	return &SolveResponse{
 		Key: key, Cache: "miss",
 		Pivots: e.coldPivots, ColdPivots: e.coldPivots,
@@ -421,9 +658,12 @@ func (s *Server) solveColdFill(e *entry, inst *lubt.Instance, b lubt.Bounds, opt
 
 // solveWarmHit restages a cached session to the requested windows and
 // weights and re-solves warm from its kept basis. Caller holds e.mu.
-func (s *Server) solveWarmHit(e *entry, b lubt.Bounds, weights []float64, nodes int, key string, tr *obs.Tracer) (*SolveResponse, *httpError) {
-	sp := tr.Start("resolve")
+func (s *Server) solveWarmHit(e *entry, b lubt.Bounds, weights []float64, nodes int, key string, st *reqState) (*SolveResponse, *httpError) {
+	st.outcome = outcomeWarmHit
+	start := time.Now()
+	sp := st.tr.Start("resolve")
 	sp.SetString("cache", "hit")
+	labelOutcome(sp, outcomeWarmHit)
 	edits := 0
 	cur := e.solved.Bounds()
 	for i := range b.Lower {
@@ -458,7 +698,7 @@ func (s *Server) solveWarmHit(e *entry, b lubt.Bounds, weights []float64, nodes 
 	} else {
 		e.weights = append(e.weights[:0], weights...)
 	}
-	resp, herr := s.resolveLocked(e, key, edits, sp)
+	resp, herr := s.resolveLocked(e, key, edits, outcomeWarmHit, start, sp)
 	sp.End()
 	return resp, herr
 }
@@ -466,7 +706,7 @@ func (s *Server) solveWarmHit(e *entry, b lubt.Bounds, weights []float64, nodes 
 // resolveLocked re-solves a staged session and assembles the response —
 // the shared tail of the warm-hit and /eco paths. Caller holds e.mu and
 // owns the span.
-func (s *Server) resolveLocked(e *entry, key string, edits int, sp *obs.Span) (*SolveResponse, *httpError) {
+func (s *Server) resolveLocked(e *entry, key string, edits int, outcome string, start time.Time, sp *obs.Span) (*SolveResponse, *httpError) {
 	tree, err := e.solved.Resolve()
 	if err != nil {
 		if errors.Is(err, lubt.ErrInfeasible) {
@@ -485,6 +725,10 @@ func (s *Server) resolveLocked(e *entry, key string, edits int, sp *obs.Span) (*
 	s.metrics.Inc("cache_hits")
 	s.metrics.Add("warm_pivots_total", int64(pivots))
 	s.metrics.Add("restages_total", int64(edits))
+	oh := s.hOutcome[outcome]
+	oh.seconds.ObserveDuration(time.Since(start))
+	oh.pivots.Observe(float64(pivots))
+	oh.restages.Observe(float64(edits))
 	return &SolveResponse{
 		Key: key, Cache: "hit",
 		Pivots: pivots, ColdPivots: e.coldPivots,
@@ -493,7 +737,7 @@ func (s *Server) resolveLocked(e *entry, key string, edits int, sp *obs.Span) (*
 	}, nil
 }
 
-func (s *Server) handleEco(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEco(w http.ResponseWriter, r *http.Request, st *reqState) {
 	if !requirePost(w, r) {
 		return
 	}
@@ -510,11 +754,9 @@ func (s *Server) handleEco(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
-	var tr *obs.Tracer
-	if req.Trace {
-		tr = obs.NewTracer("serve-eco")
-	}
-	sp := tr.Start("queue-wait")
+	st.tr = obs.NewTracerCtx(r.Context(), "serve-eco")
+	qStart := time.Now()
+	sp := st.tr.Start("queue-wait")
 	if herr := s.acquireSlot(r); herr != nil {
 		s.countError(herr)
 		writeError(w, herr)
@@ -522,20 +764,23 @@ func (s *Server) handleEco(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseSlot()
 	sp.End()
-	resp, herr := s.eco(&req, tr)
+	s.hQueueWait.ObserveDuration(time.Since(qStart))
+	resp, herr := s.eco(&req, st)
 	if herr != nil {
 		s.countError(herr)
 		writeError(w, herr)
 		return
 	}
-	attachTrace(resp, tr)
+	if req.Trace {
+		attachTrace(resp, st.tr)
+	}
 	writeJSON(w, 200, resp)
 }
 
 // eco applies targeted edits to a cached warm session. Edits apply in
 // order; on a rejected edit the earlier ones remain staged (the facade
 // contract — the next Resolve picks them up).
-func (s *Server) eco(req *EcoRequest, tr *obs.Tracer) (*SolveResponse, *httpError) {
+func (s *Server) eco(req *EcoRequest, st *reqState) (*SolveResponse, *httpError) {
 	unknown := &httpError{status: 404, code: "unknown_key",
 		detail: "no warm session for key " + req.Key + " (evicted or never solved); POST /solve first"}
 	e := s.cache.lookup(req.Key)
@@ -547,9 +792,12 @@ func (s *Server) eco(req *EcoRequest, tr *obs.Tracer) (*SolveResponse, *httpErro
 	if e.closed || e.solved == nil {
 		return nil, unknown
 	}
-	sp := tr.Start("resolve")
+	st.outcome = outcomeWarmEco
+	start := time.Now()
+	sp := st.tr.Start("resolve")
 	defer sp.End()
 	sp.SetString("cache", "hit")
+	labelOutcome(sp, outcomeWarmEco)
 	edits := 0
 	for _, edit := range req.Retighten {
 		l, u := edit.window()
@@ -576,15 +824,32 @@ func (s *Server) eco(req *EcoRequest, tr *obs.Tracer) (*SolveResponse, *httpErro
 		e.weights[edit.Edge] = edit.Weight
 		edits++
 	}
-	return s.resolveLocked(e, req.Key, edits, sp)
+	return s.resolveLocked(e, req.Key, edits, outcomeWarmEco, start, sp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !requireGet(w, r) {
 		return
 	}
+	s.metrics.SetGauge("uptime_seconds", int64(time.Since(s.start)/time.Second))
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.metrics.WriteJSON(w)
+	case "prom":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.WriteProm(w)
+	default:
+		writeError(w, badRequest("unknown format %q (json or prom)", format))
+	}
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if !requireGet(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.metrics.WriteJSON(w)
+	_ = s.flight.WriteJSON(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -5,12 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"lubt/internal/experiments"
 	"lubt/internal/wkld"
@@ -313,6 +315,81 @@ func TestServeWarmEndToEnd(t *testing.T) {
 		t.Fatalf("warm_pivots_total=%d cold_pivots_total=%d, want %d and ≥ %d",
 			warmTotal, coldTotal, warm.Pivots, cold.Pivots)
 	}
+
+	// The solve-latency and pivot histograms must be populated, split by
+	// outcome: two cold requests (bypass + miss) and one warm /eco.
+	if got := m.Histogram("solve_seconds_cold").Count(); got != 2 {
+		t.Errorf("solve_seconds_cold count = %d, want 2", got)
+	}
+	if got := m.Histogram("solve_pivots_cold").Count(); got != 2 {
+		t.Errorf("solve_pivots_cold count = %d, want 2", got)
+	}
+	if got := m.Histogram("solve_seconds_warm_eco").Count(); got != 1 {
+		t.Errorf("solve_seconds_warm_eco count = %d, want 1", got)
+	}
+	if got := m.Histogram("solve_pivots_warm_eco").Quantile(1); got != float64(warm.Pivots) {
+		t.Errorf("warm_eco pivot max = %v, want %d", got, warm.Pivots)
+	}
+	if got := m.Histogram("restages_warm_eco").Sum(); got != 1 {
+		t.Errorf("restages_warm_eco sum = %v, want 1", got)
+	}
+	if got := m.Histogram("queue_wait_seconds").Count(); got != 3 {
+		t.Errorf("queue_wait_seconds count = %d, want 3", got)
+	}
+	if got := m.Histogram("build_seconds").Count(); got != 2 {
+		t.Errorf("build_seconds count = %d, want 2", got)
+	}
+
+	// The Prometheus exposition of the same state must validate.
+	presp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatalf("GET /metrics?format=prom: %v", err)
+	}
+	defer presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prom content type %q", ct)
+	}
+	prom, _ := io.ReadAll(presp.Body)
+	if err := ValidatePromText(prom); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(prom, []byte(`lubtd_solve_seconds_cold_count 2`)) {
+		t.Errorf("prom exposition missing cold histogram count:\n%s", prom)
+	}
+
+	// The flight recorder must hold all four requests, oldest first.
+	fresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatalf("GET /debug/flight: %v", err)
+	}
+	defer fresp.Body.Close()
+	flight, _ := io.ReadAll(fresp.Body)
+	if err := ValidateFlightJSON(flight); err != nil {
+		t.Fatal(err)
+	}
+	var fdoc struct {
+		Entries []struct {
+			ID      string `json:"id"`
+			Route   string `json:"route"`
+			Outcome string `json:"outcome"`
+			Status  int    `json:"status"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(flight, &fdoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(fdoc.Entries) != 3 {
+		t.Fatalf("flight holds %d entries, want 3", len(fdoc.Entries))
+	}
+	wantFlights := []struct{ route, outcome string }{
+		{"/solve", "cold"}, {"/solve", "cold"}, {"/eco", "warm_eco"},
+	}
+	for i, want := range wantFlights {
+		e := fdoc.Entries[i]
+		if e.Route != want.route || e.Outcome != want.outcome || e.Status != 200 || e.ID == "" {
+			t.Errorf("flight entry %d = %+v, want %s %s 200", i, e, want.route, want.outcome)
+		}
+	}
 }
 
 // TestSolveWarmHitRestagesWindows covers the /solve warm path: a second
@@ -400,7 +477,9 @@ func TestAPIDocRoutes(t *testing.T) {
 		}
 	}
 	// The metric names are part of the wire contract too.
-	for _, name := range append(append([]string{}, requiredCounters...), requiredGauges...) {
+	names := append(append([]string{}, requiredCounters...), requiredGauges...)
+	names = append(names, requiredHistograms...)
+	for _, name := range names {
 		if !strings.Contains(string(doc), name) {
 			t.Errorf("docs/API.md does not document metric %q", name)
 		}
@@ -453,8 +532,9 @@ func TestValidateMetricsJSON(t *testing.T) {
 		doc  string
 	}{
 		{"schema", `{"schema":"lubtd-metrics/9","counters":{},"gauges":{}}`},
-		{"missing counter", `{"schema":"lubtd-metrics/1","counters":{},"gauges":{}}`},
-		{"unknown key", `{"schema":"lubtd-metrics/1","counters":{},"gauges":{},"extra":1}`},
+		{"old major version", `{"schema":"lubtd-metrics/1","counters":{},"gauges":{}}`},
+		{"missing counter", `{"schema":"lubtd-metrics/2","counters":{},"gauges":{},"histograms":{}}`},
+		{"unknown key", `{"schema":"lubtd-metrics/2","counters":{},"gauges":{},"histograms":{},"extra":1}`},
 		{"not json", `nope`},
 	}
 	for _, c := range bad {
@@ -505,6 +585,265 @@ func TestRequestKey(t *testing.T) {
 	}
 	if k := mk(&SolveRequest{Sinks: sinks, Pricing: "steepest"}); k == base {
 		t.Fatal("different pricing kept the key")
+	}
+}
+
+// TestMetricsFormats covers the /metrics format switch: default JSON,
+// format=prom text exposition, anything else a 400.
+func TestMetricsFormats(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	get := func(path string) *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		srv.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+		return rr
+	}
+	rr := get("/metrics")
+	if rr.Code != 200 || !strings.HasPrefix(rr.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("JSON view: status %d, content type %q", rr.Code, rr.Header().Get("Content-Type"))
+	}
+	if err := ValidateMetricsJSON(rr.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rr = get("/metrics?format=prom")
+	if rr.Code != 200 || !strings.HasPrefix(rr.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("prom view: status %d, content type %q", rr.Code, rr.Header().Get("Content-Type"))
+	}
+	if err := ValidatePromText(rr.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rr = get("/metrics?format=xml")
+	decodeError(t, rr.Body, rr.Code, 400, "bad_request")
+}
+
+// TestFlightRingBound: with a small configured ring, the /debug/flight
+// view holds only the last N requests and reports the overflow.
+func TestFlightRingBound(t *testing.T) {
+	srv := New(Config{FlightSize: 2})
+	defer srv.Close()
+	b := wkld.Custom("flight6", 6, 2)
+	for i := 0; i < 3; i++ {
+		req := solveReq(b, 0, 0)
+		req.Cold = true
+		decodeSolve(t, postJSON(t, srv, "/solve", req))
+	}
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/flight", nil))
+	if err := ValidateFlightJSON(rr.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Capacity int    `json:"capacity"`
+		Dropped  uint64 `json:"dropped"`
+		Entries  []struct {
+			ID string `json:"id"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Capacity != 2 || doc.Dropped != 1 || len(doc.Entries) != 2 {
+		t.Fatalf("capacity=%d dropped=%d entries=%d, want 2/1/2",
+			doc.Capacity, doc.Dropped, len(doc.Entries))
+	}
+	if doc.Entries[0].ID != "r000002" || doc.Entries[1].ID != "r000003" {
+		t.Fatalf("ring kept %s, %s — want the last two requests",
+			doc.Entries[0].ID, doc.Entries[1].ID)
+	}
+}
+
+// TestPprofGating: /debug/pprof/ is mounted only when EnablePprof is
+// set.
+func TestPprofGating(t *testing.T) {
+	off := New(Config{})
+	defer off.Close()
+	rr := httptest.NewRecorder()
+	off.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rr.Code != 404 {
+		t.Fatalf("pprof disabled: status %d, want 404", rr.Code)
+	}
+
+	on := New(Config{EnablePprof: true})
+	defer on.Close()
+	rr = httptest.NewRecorder()
+	on.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "goroutine") {
+		t.Fatalf("pprof enabled: status %d, body %.120s", rr.Code, rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	on.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/debug/pprof/cmdline", nil))
+	if rr.Code != 200 {
+		t.Fatalf("pprof cmdline: status %d", rr.Code)
+	}
+}
+
+// TestAccessLogAndSlowSolve: every solver request writes an access-log
+// line whose id matches the X-Request-Id header, and a request over the
+// SlowSolve budget adds a Warn line carrying the full span tree.
+func TestAccessLogAndSlowSolve(t *testing.T) {
+	var logBuf bytes.Buffer
+	srv := New(Config{
+		SlowSolve: time.Nanosecond, // everything is over budget
+		Logger:    slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	defer srv.Close()
+	b := wkld.Custom("slow8", 8, 4)
+	req := solveReq(b, 0, 0)
+	req.Cold = true
+	rr := postJSON(t, srv, "/solve", req)
+	decodeSolve(t, rr)
+	reqID := rr.Header().Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id header on a solver response")
+	}
+
+	var access, slow map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		switch rec["msg"] {
+		case "request":
+			access = rec
+		case "slow solve":
+			slow = rec
+		}
+	}
+	if access == nil {
+		t.Fatal("no access-log line written")
+	}
+	if access["id"] != reqID || access["route"] != "/solve" ||
+		access["outcome"] != "cold" || access["status"] != 200.0 {
+		t.Fatalf("access log fields wrong: %v", access)
+	}
+	if slow == nil {
+		t.Fatal("no slow-solve line written")
+	}
+	if slow["id"] != reqID {
+		t.Fatalf("slow-solve id %v, want %s", slow["id"], reqID)
+	}
+	traceStr, _ := slow["trace"].(string)
+	var trace struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal([]byte(traceStr), &trace); err != nil || trace.Schema != "lubt-trace/1" {
+		t.Fatalf("slow-solve trace not a lubt-trace/1 document: %v (%.120s)", err, traceStr)
+	}
+}
+
+// TestValidatePromText covers the validator's rejection paths with
+// hand-built bad expositions.
+func TestValidatePromText(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	var good bytes.Buffer
+	if err := srv.Metrics().WriteProm(&good); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePromText(good.Bytes()); err != nil {
+		t.Fatalf("fresh server exposition must validate: %v", err)
+	}
+	text := good.String()
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"empty", ""},
+		{"no value", text + "lubtd_orphan\n"},
+		{"non-monotone bucket", strings.Replace(text,
+			`lubtd_queue_wait_seconds_bucket{le="+Inf"} 0`,
+			"lubtd_queue_wait_seconds_bucket{le=\"0.5\"} 5\nlubtd_queue_wait_seconds_bucket{le=\"1\"} 3\nlubtd_queue_wait_seconds_bucket{le=\"+Inf\"} 3", 1)},
+		{"count mismatch", strings.Replace(text, "lubtd_queue_wait_seconds_count 0", "lubtd_queue_wait_seconds_count 9", 1)},
+		{"missing histogram", strings.ReplaceAll(text, "lubtd_build_seconds", "lubtd_other_seconds")},
+	}
+	for _, c := range bad {
+		if err := ValidatePromText([]byte(c.doc)); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+// TestValidateFlightJSON covers the flight validator's rejection paths.
+func TestValidateFlightJSON(t *testing.T) {
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"schema", `{"schema":"lubtd-flight/9","capacity":2,"dropped":0,"entries":[]}`},
+		{"unknown key", `{"schema":"lubtd-flight/1","capacity":2,"dropped":0,"entries":[],"x":1}`},
+		{"over capacity", `{"schema":"lubtd-flight/1","capacity":1,"dropped":0,"entries":[
+			{"id":"a","route":"/solve","outcome":"cold","status":200,"start_unix_us":1,"dur_us":1},
+			{"id":"b","route":"/solve","outcome":"cold","status":200,"start_unix_us":2,"dur_us":1}]}`},
+		{"bad route", `{"schema":"lubtd-flight/1","capacity":2,"dropped":0,"entries":[
+			{"id":"a","route":"/metrics","outcome":"cold","status":200,"start_unix_us":1,"dur_us":1}]}`},
+		{"bad outcome", `{"schema":"lubtd-flight/1","capacity":2,"dropped":0,"entries":[
+			{"id":"a","route":"/solve","outcome":"tepid","status":200,"start_unix_us":1,"dur_us":1}]}`},
+		{"not json", `nope`},
+	}
+	for _, c := range bad {
+		if err := ValidateFlightJSON([]byte(c.doc)); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+// TestPromTextFile validates a Prometheus exposition captured from a
+// live daemon — the ci.sh lubtd smoke sets LUBTD_PROM_TEXT to the file
+// it scraped after the warm /eco call.
+func TestPromTextFile(t *testing.T) {
+	path := os.Getenv("LUBTD_PROM_TEXT")
+	if path == "" {
+		t.Skip("LUBTD_PROM_TEXT not set (ci.sh smoke hook)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePromText(data); err != nil {
+		t.Fatal(err)
+	}
+	// The smoke's cold solve and warm eco must show up in the histograms.
+	for _, want := range []string{
+		"lubtd_solve_seconds_cold_count 1",
+		"lubtd_solve_seconds_warm_eco_count 1",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("live exposition missing %q", want)
+		}
+	}
+}
+
+// TestFlightJSONFile validates a flight dump captured from a live
+// daemon — the ci.sh lubtd smoke sets LUBTD_FLIGHT_JSON to the file it
+// scraped after the warm /eco call; the ring must hold both requests.
+func TestFlightJSONFile(t *testing.T) {
+	path := os.Getenv("LUBTD_FLIGHT_JSON")
+	if path == "" {
+		t.Skip("LUBTD_FLIGHT_JSON not set (ci.sh smoke hook)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateFlightJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Entries []struct {
+			Route   string `json:"route"`
+			Outcome string `json:"outcome"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	routes := map[string]bool{}
+	for _, e := range doc.Entries {
+		routes[e.Route+":"+e.Outcome] = true
+	}
+	if !routes["/solve:cold"] || !routes["/eco:warm_eco"] {
+		t.Fatalf("flight ring missing the smoke's requests: %s", data)
 	}
 }
 
