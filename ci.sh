@@ -64,6 +64,31 @@ for bench in prim1-s r4-s; do
 	LUBT_BENCH_JSON="$bench_json" go test -run 'TestBenchJSONFile|TestBenchJSONPivotGate|TestBenchJSONEcoGate' ./internal/experiments
 done
 
+echo "== scale smoke (r6-class: presolve + subtree decomposition gate)"
+# r6-s (2500 sinks) crosses the scale threshold, so `lubtbench -json`
+# switches to the sector-partitioned baseline and the ablation lineup:
+# "revised" under the auto settings (dominance presolve + parallel
+# subtree decomposition) against "revised-nopresolve" with both passes
+# forced off. The emitted record is schema-validated and passed through
+# experiments.CheckPresolveGate (TestBenchJSONPresolveGate): presolve
+# must prune a nonzero number of candidate rows, the decomposed peak
+# row count must not exceed the monolithic one, and the two optima must
+# agree to 1e-6·radius. The nopresolve row is the long pole here — it
+# is the 30x-slower monolithic solve the passes exist to avoid.
+go run ./cmd/lubtbench -json -bench r6-s -repeats 1 -outdir "$tmp"
+scale_json="$tmp/BENCH_r6-s.json"
+if [ ! -s "$scale_json" ]; then
+	echo "ci: lubtbench -json produced no output for r6-s" >&2
+	exit 1
+fi
+for key in presolve_pruned_rows subtrees peak_rows; do
+	if ! grep -q "\"$key\"" "$scale_json"; then
+		echo "ci: $scale_json missing lubt-bench/1 key $key" >&2
+		exit 1
+	fi
+done
+LUBT_BENCH_JSON="$scale_json" go test -run 'TestBenchJSONFile|TestBenchJSONPresolveGate' ./internal/experiments
+
 echo "== lubtd smoke (live daemon: cold solve, warm eco, lubtd-metrics/2 + prom + flight scrape)"
 # Start the daemon on an ephemeral port, send one cold /solve and one
 # warm /eco on the returned key, then scrape /metrics (JSON and

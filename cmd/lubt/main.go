@@ -50,6 +50,8 @@ func main() {
 		stats      = flag.Bool("stats", false, "print LP engine statistics (pivots, rounds, fill-in, timings)")
 		tracePath  = flag.String("trace", "", "write the solve span tree as JSON (schema lubt-trace/1) to this file")
 		eco        = flag.Bool("eco", false, "ECO demo: retighten sink 1's window after solving and warm re-solve in place")
+		presolve   = flag.String("presolve", "", "dominance presolve: on, off or empty (auto from 2048 sinks)")
+		decompose  = flag.String("decompose", "", "subtree decomposition: on, off or empty (auto from 2048 sinks)")
 	)
 	flag.Parse()
 	cfg := runConfig{
@@ -57,6 +59,7 @@ func main() {
 		normalized: *normalized, useSource: *useSource, skewTopo: *skewTopo,
 		solver: *solver, pricing: *pricing, svgPath: *svgPath, jsonPath: *jsonPath,
 		boundsPath: *boundsPath, showStats: *stats, tracePath: *tracePath, eco: *eco,
+		presolve: *presolve, decompose: *decompose,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lubt:", err)
@@ -77,6 +80,7 @@ type runConfig struct {
 	showStats             bool
 	tracePath             string
 	eco                   bool
+	presolve, decompose   string
 }
 
 func run(cfg runConfig) error {
@@ -134,7 +138,7 @@ func run(cfg runConfig) error {
 	} else {
 		bounds = lubt.Uniform(len(sinks), l, u)
 	}
-	opts := &lubt.Options{Solver: cfg.solver, Pricing: cfg.pricing}
+	opts := &lubt.Options{Solver: cfg.solver, Pricing: cfg.pricing, Presolve: cfg.presolve, Decompose: cfg.decompose}
 	var traceFile *os.File
 	if cfg.tracePath != "" {
 		var err error

@@ -29,6 +29,19 @@
 // files and gates the Devex-vs-most-violated pivot counts
 // (experiments.CheckPivotGate) plus the warm-vs-cold ECO ratio
 // (experiments.CheckEcoGate).
+//
+// Scale-class benchmarks (r6-class and up, at least 2048 sinks — e.g.
+// -bench r6-s) switch both the baseline and the lineup: the topology
+// comes from the sector-partitioned router (8 angular sectors, so the
+// root has independent branches), and the engine rows become "revised"
+// (auto settings — dominance presolve plus parallel subtree
+// decomposition) versus "revised-nopresolve" (both passes forced off),
+// the before/after pair behind the presolve_pruned_rows, subtrees and
+// peak_rows keys. ci.sh's scale smoke gates that record with
+// experiments.CheckPresolveGate: presolve must prune rows, the
+// decomposed peak row count must not exceed the monolithic one, and the
+// two optima must agree to 1e-6·radius. The ECO probe is skipped at this
+// size (sessions solve monolithically without presolve).
 package main
 
 import (

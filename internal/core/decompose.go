@@ -1,0 +1,390 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"lubt/internal/geom"
+	"lubt/internal/topology"
+)
+
+// This file is the subtree-decomposition layer: partition the sinks by
+// root branch of the resolved topology, solve each branch's bounded
+// subproblem on its own engine in parallel, and merge. Exactness rests
+// on the structure of the cross-branch Steiner rows: a pair (i, j) in
+// different root branches has LCA 0 (where d_0 = 0), so its row reads
+// d_i + d_j ≥ dist(i, j).
+//
+//   - Fixed source: every branch states the seeded source rows
+//     d_i ≥ dist(0, i), and the Manhattan triangle inequality gives
+//     dist(i, j) ≤ dist(0, i) + dist(0, j) ≤ d_i + d_j — every
+//     cross-branch row is implied, the objective is edge-separable, and
+//     the independent branch optima compose into the exact global
+//     optimum in one pass.
+//
+//   - Free source (Decompose "on" only): the independent pass is a
+//     relaxation whose cost is a lower bound. If its merged solution
+//     already satisfies the cross-branch rows (checked exactly via
+//     rotated-coordinate branch extremes), it is optimal. Otherwise a
+//     bounded number of outer passes raise per-sink delay floors — the
+//     worst violated pair per branch pair gets its deficit split evenly
+//     across its two endpoints, a constraint on each branch's root-path
+//     edge variables — and the branches re-solve. The result is accepted
+//     only if it becomes cross-feasible AND its cost stays within
+//     decomposeGate·radius of the relaxation lower bound; anything else
+//     falls back to the monolithic solve.
+
+// decomposeGate is the optimality-agreement gate of the free-source
+// coordination passes, as a fraction of the instance radius.
+const decomposeGate = 1e-6
+
+// decomposePasses bounds the free-source outer coordination passes.
+const decomposePasses = 4
+
+// branchProblem is one root branch lowered to a standalone instance:
+// node 0 is the original root, sinks are renumbered 1…mb preserving
+// relative order, and toOrig maps sub node ids back.
+type branchProblem struct {
+	in     *Instance
+	b      Bounds
+	toOrig []int
+	res    *Result
+}
+
+// effectiveRootBranches collects the subtrees that hang off the root at
+// delay zero: the root's own children, descending through forced-zero
+// Steiner edges (the Fig. 2 degree-split spine, whose nodes sit at
+// d = 0 just like the root, so their branches are exactly as independent
+// as true root branches). Sink-less subtrees are skipped — they carry no
+// rows and their edges stay at length zero in the merged solution.
+func effectiveRootBranches(t *topology.Tree) []int {
+	_, lo, hi := t.SinkOrder()
+	var branches []int
+	stack := []int{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Children(v) {
+			switch {
+			case t.ForcedZero[c] && t.IsSteiner(c):
+				stack = append(stack, c)
+			case hi[c] > lo[c]:
+				branches = append(branches, c)
+			}
+		}
+	}
+	return branches
+}
+
+// buildBranch extracts the branch rooted at child c of the original
+// root. Weights w is the original per-edge weight vector (nil = unit).
+func buildBranch(in *Instance, bd Bounds, w []float64, c int) (*branchProblem, []float64, error) {
+	t := in.Tree
+	// DFS collects the subtree in deterministic preorder.
+	var nodes []int
+	stack := []int{c}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes = append(nodes, x)
+		ch := t.Children(x)
+		for k := len(ch) - 1; k >= 0; k-- {
+			stack = append(stack, ch[k])
+		}
+	}
+	var sinks, steiner []int
+	for _, x := range nodes {
+		if t.IsSink(x) {
+			sinks = append(sinks, x)
+		} else {
+			steiner = append(steiner, x)
+		}
+	}
+	// Sinks keep their relative id order so per-sink data maps monotonically.
+	for i := 1; i < len(sinks); i++ {
+		for j := i; j > 0 && sinks[j] < sinks[j-1]; j-- {
+			sinks[j], sinks[j-1] = sinks[j-1], sinks[j]
+		}
+	}
+	mb := len(sinks)
+	if mb == 0 {
+		return nil, nil, fmt.Errorf("core: root branch %d has no sinks", c)
+	}
+	nSub := 1 + len(nodes)
+	toOrig := make([]int, nSub)
+	toSub := make(map[int]int, nSub)
+	toOrig[0] = 0
+	toSub[0] = 0
+	for i, s := range sinks {
+		toOrig[1+i] = s
+		toSub[s] = 1 + i
+	}
+	for i, s := range steiner {
+		toOrig[1+mb+i] = s
+		toSub[s] = 1 + mb + i
+	}
+	parent := make([]int, nSub)
+	parent[0] = -1
+	for sub := 1; sub < nSub; sub++ {
+		orig := toOrig[sub]
+		if orig == c {
+			parent[sub] = 0
+			continue
+		}
+		parent[sub] = toSub[t.Parent[orig]]
+	}
+	sub, err := topology.New(parent, mb)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: branch %d topology: %w", c, err)
+	}
+	for subID := 1; subID < nSub; subID++ {
+		sub.ForcedZero[subID] = t.ForcedZero[toOrig[subID]]
+	}
+	bin := &Instance{Tree: sub, SinkLoc: make([]geom.Point, mb+1), Source: in.Source}
+	bb := Bounds{L: make([]float64, mb+1), U: make([]float64, mb+1)}
+	for i := 1; i <= mb; i++ {
+		bin.SinkLoc[i] = in.SinkLoc[toOrig[i]]
+		bb.L[i] = bd.L[toOrig[i]]
+		bb.U[i] = bd.U[toOrig[i]]
+	}
+	var wSub []float64
+	if w != nil {
+		wSub = make([]float64, nSub)
+		for subID := 1; subID < nSub; subID++ {
+			wSub[subID] = w[toOrig[subID]]
+		}
+	}
+	return &branchProblem{in: bin, b: bb, toOrig: toOrig}, wSub, nil
+}
+
+// solveDecomposed attempts the branch-parallel solve. done == false
+// means the caller should run the monolithic path (not decomposable, or
+// the free-source coordination could not certify optimality); when done
+// is true, res/err is the final outcome.
+func solveDecomposed(in *Instance, bd Bounds, opt *Options, presolveOn bool) (res *Result, done bool, err error) {
+	t := in.Tree
+	branches := effectiveRootBranches(t)
+	if len(branches) < 2 {
+		return nil, false, nil
+	}
+	// Instance and bounds were already validated by Solve.
+	var wOrig []float64
+	if opt != nil {
+		wOrig = opt.Weights
+	}
+	probs := make([]*branchProblem, len(branches))
+	wSubs := make([][]float64, len(branches))
+	for i, c := range branches {
+		probs[i], wSubs[i], err = buildBranch(in, bd, wOrig, c)
+		if err != nil {
+			return nil, true, err
+		}
+	}
+
+	branchOpt := func(i int) *Options {
+		o := &Options{}
+		if opt != nil {
+			*o = *opt
+		}
+		o.Tracer = nil // branch solves run concurrently; spans stay monolithic
+		o.Decompose = "off"
+		o.Presolve = "off"
+		if presolveOn {
+			o.Presolve = "on"
+		}
+		o.Weights = wSubs[i]
+		return o
+	}
+
+	// solveAll runs one pass of independent branch solves (floors already
+	// folded into each problem's Bounds), parallel across branches.
+	solveAll := func(dirty []bool) error {
+		workers := 0
+		if opt != nil {
+			workers = opt.OracleWorkers
+		}
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(probs) {
+			workers = len(probs)
+		}
+		errs := make([]error, len(probs))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range probs {
+			if dirty != nil && !dirty[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				probs[i].res, errs[i] = Solve(probs[i].in, probs[i].b, branchOpt(i))
+			}(i)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+
+	if err := solveAll(nil); err != nil {
+		// A branch states a subset of the true constraints: its
+		// infeasibility (or any other first-pass failure) is the
+		// instance's.
+		return nil, true, err
+	}
+
+	if in.Source == nil {
+		relaxCost := 0.0
+		for _, p := range probs {
+			relaxCost += p.res.Cost
+		}
+		ok, err := coordinateFreeSource(in, bd, probs, solveAll, relaxCost)
+		if err != nil || !ok {
+			return nil, false, nil // too coupled — monolithic fallback
+		}
+	}
+
+	return mergeBranches(in, probs), true, nil
+}
+
+// crossViolation returns the worst cross-branch Steiner violation
+// max dist(i,j) − d_i − d_j over pairs in different branches, with an
+// achieving pair, computed exactly from per-branch rotated extremes.
+func crossViolation(in *Instance, probs []*branchProblem) (worst float64, wi, wj int) {
+	exts := make([]ext4, len(probs))
+	for bi, p := range probs {
+		e := emptyExt4()
+		for i := 1; i <= p.in.Tree.NumSinks; i++ {
+			u, v := p.in.SinkLoc[i].UV()
+			e.fold(sinkExt4(u, v, p.res.Delays[i], p.toOrig[i]))
+		}
+		exts[bi] = e
+	}
+	worst, wi, wj = math.Inf(-1), -1, -1
+	for a := 0; a < len(probs); a++ {
+		for b := a + 1; b < len(probs); b++ {
+			if v, ia, jb := maxCombo(exts[a], exts[b]); v > worst {
+				worst, wi, wj = v, ia, jb
+			}
+		}
+	}
+	return worst, wi, wj
+}
+
+// coordinateFreeSource runs the bounded outer passes for a free source.
+// It returns ok == false when the branches stay coupled (cross rows
+// still violated after the pass budget, a floor left a branch
+// infeasible, or the final cost drifts past the decomposeGate from the
+// relaxation lower bound).
+func coordinateFreeSource(in *Instance, bd Bounds, probs []*branchProblem, solveAll func([]bool) error, relaxCost float64) (bool, error) {
+	tol := 1e-7 * math.Max(1, in.Radius())
+	branchOf := make(map[int]int)
+	for bi, p := range probs {
+		for i := 1; i <= p.in.Tree.NumSinks; i++ {
+			branchOf[p.toOrig[i]] = bi
+		}
+	}
+	subID := func(orig int) (int, int) {
+		bi := branchOf[orig]
+		for s := 1; s <= probs[bi].in.Tree.NumSinks; s++ {
+			if probs[bi].toOrig[s] == orig {
+				return bi, s
+			}
+		}
+		panic("core: decompose lost a sink mapping")
+	}
+	for pass := 0; ; pass++ {
+		worst, wi, wj := crossViolation(in, probs)
+		if worst <= tol {
+			total := 0.0
+			for _, p := range probs {
+				total += p.res.Cost
+			}
+			if total-relaxCost > decomposeGate*math.Max(1, in.Radius()) {
+				return false, nil // feasible but past the agreement gate
+			}
+			return true, nil
+		}
+		if pass == decomposePasses {
+			return false, nil // pass budget exhausted, still coupled
+		}
+		// Even-split the worst pair's deficit into per-sink floors and
+		// re-solve the two touched branches.
+		dirty := make([]bool, len(probs))
+		for _, orig := range []int{wi, wj} {
+			bi, s := subID(orig)
+			floor := probs[bi].res.Delays[s] + worst/2
+			if floor > probs[bi].b.U[s]+tol {
+				return false, nil // floor collides with the upper window
+			}
+			if floor > probs[bi].b.L[s] {
+				probs[bi].b.L[s] = floor
+				dirty[bi] = true
+			}
+		}
+		if err := solveAll(dirty); err != nil {
+			return false, nil // heuristic floors broke a branch: fall back
+		}
+	}
+}
+
+// mergeBranches folds the per-branch results into one Result on the
+// original topology, deterministically in branch order.
+func mergeBranches(in *Instance, probs []*branchProblem) *Result {
+	t := in.Tree
+	n := t.N()
+	res := &Result{E: make([]float64, n)}
+	for _, p := range probs {
+		for subID := 1; subID < p.in.Tree.N(); subID++ {
+			res.E[p.toOrig[subID]] = p.res.E[subID]
+		}
+		res.Cost += p.res.Cost
+		res.RowsUsed += p.res.RowsUsed
+		res.LPIterations += p.res.LPIterations
+		if p.res.Rounds > res.Rounds {
+			res.Rounds = p.res.Rounds
+		}
+	}
+	res.Delays = t.Delays(res.E)
+
+	// Stats: counters sum via Merge; the row-count gauges are then
+	// overridden with whole-instance totals, PeakRows with the largest
+	// single-engine tableau — the decomposition's memory story — and
+	// Subtrees with the branch count.
+	var logical, tableau, lowered, ranged, nnz, peak int
+	residual := 0.0
+	for _, p := range probs {
+		st := p.res.Stats
+		res.Stats.Merge(st)
+		logical += st.LogicalRows
+		tableau += st.TableauRows
+		lowered += st.LoweredTableauRows
+		ranged += st.RangedRows
+		nnz += st.RowNonzeros
+		if st.PeakRows > peak {
+			peak = st.PeakRows
+		}
+		if st.NumericalResidual > residual {
+			residual = st.NumericalResidual
+		}
+	}
+	res.Stats.LogicalRows = logical
+	res.Stats.TableauRows = tableau
+	res.Stats.LoweredTableauRows = lowered
+	res.Stats.RangedRows = ranged
+	res.Stats.RowNonzeros = nnz
+	res.Stats.PeakRows = peak
+	res.Stats.NumericalResidual = residual
+	res.Stats.Rounds = res.Rounds
+	res.Stats.Subtrees = len(probs)
+	return res
+}

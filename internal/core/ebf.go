@@ -46,10 +46,86 @@ type Options struct {
 	// Tol is the Steiner-violation tolerance, scaled by the instance
 	// radius; 0 means 1e-7.
 	Tol float64
+	// Presolve controls the dominance-pruning presolve pass (see
+	// presolve.go): "" is auto — on for instances with at least
+	// ScaleAutoSinks sinks, keeping the legacy oracle byte-for-byte on
+	// every smaller instance — "on" forces it, "off" disables it.
+	// Presolve requires the Lemma 3.1 all-sinks-are-leaves topology;
+	// otherwise the legacy oracle runs regardless of this setting.
+	// FullMatrix and the ECO Session always run without presolve (the
+	// Session's window edits would invalidate the dominance witnesses).
+	Presolve string
+	// Decompose controls root-branch subtree decomposition (see
+	// decompose.go): "" is auto — on when the source is fixed, the
+	// topology has at least two root branches and the instance has at
+	// least ScaleAutoSinks sinks — "on" forces it where structurally
+	// possible (with a free source this engages the bounded
+	// outer-coordination passes and falls back to the monolithic solve
+	// when branches stay coupled), "off" disables it.
+	Decompose string
 	// Tracer records solve spans (rounds, LP solves, separation scans,
 	// engine refactorizations) when non-nil. Nil disables tracing at zero
 	// cost — every obs call is a nil-receiver no-op.
 	Tracer *obs.Tracer
+}
+
+// ScaleAutoSinks is the sink count at which the "" (auto) settings of
+// Options.Presolve and Options.Decompose engage: large enough that every
+// benchmark class at or below r5-s keeps the legacy monolithic path (and
+// its pinned pivot trajectories), small enough that the r6/r7 scale
+// classes get the pruned, decomposed path by default.
+const ScaleAutoSinks = 2048
+
+// scaleSetting lowers a Presolve/Decompose option string to a decision
+// for an instance with m sinks ("" = auto at the ScaleAutoSinks
+// threshold). Unknown values are reported by Validate-time callers.
+func scaleSetting(s string, m int) (bool, error) {
+	switch s {
+	case "":
+		return m >= ScaleAutoSinks, nil
+	case "on":
+		return true, nil
+	case "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("core: unknown presolve/decompose setting %q (want \"\", \"on\" or \"off\")", s)
+}
+
+// scaleSettings resolves both scale options against the instance.
+// FullMatrix disables presolve (the ablation states every row by
+// definition) and decomposition; auto decomposition additionally
+// requires a fixed source — the regime where root branches are exactly
+// independent given the seeded source rows.
+func (o *Options) scaleSettings(in *Instance) (presolveOn, decomposeOn bool, err error) {
+	m := in.Tree.NumSinks
+	pStr, dStr := "", ""
+	full := false
+	if o != nil {
+		pStr, dStr, full = o.Presolve, o.Decompose, o.FullMatrix
+	}
+	presolveOn, err = scaleSetting(pStr, m)
+	if err != nil {
+		return false, false, err
+	}
+	decomposeOn, err = scaleSetting(dStr, m)
+	if err != nil {
+		return false, false, err
+	}
+	if full {
+		presolveOn, decomposeOn = false, false
+	}
+	if dStr == "" && in.Source == nil {
+		decomposeOn = false // auto never engages the coupled-source heuristic
+	}
+	if !in.Tree.AllSinksAreLeaves() {
+		// The block oracle enumerates sink pairs by (LCA, child-subtree
+		// pair); a sink that is an ancestor of another sink forms pairs
+		// outside every block, so dominance pruning is complete only under
+		// the Lemma 3.1 all-sinks-are-leaves condition. Fall back to the
+		// legacy oracle (stats report zero pruned rows) otherwise.
+		presolveOn = false
+	}
+	return presolveOn, decomposeOn, nil
 }
 
 // tracer returns the configured tracer, nil (disabled) when opt is nil.
@@ -173,6 +249,9 @@ type genState struct {
 	tol       float64 // already scaled by the instance radius
 	workers   int
 	tr        *obs.Tracer
+	// ps, when non-nil, replaces the flat separation scan with the
+	// block-structured dominance-pruning oracle (presolve.go).
+	ps *presolve
 }
 
 // addPair states the Steiner row for fixed-point pair (i, j) once.
@@ -231,7 +310,12 @@ func (g *genState) run() (*Result, error) {
 		copy(e[1:], sol.X[1:n])
 		ssp := g.tr.Start("separation")
 		t1 := time.Now()
-		viol := violatedPairsN(g.in, e, g.tol, g.batch, g.workers)
+		var viol [][2]int
+		if g.ps != nil {
+			viol = g.ps.violatedPairs(t.Delays(e), g.tol, g.batch, g.workers)
+		} else {
+			viol = violatedPairsN(g.in, e, g.tol, g.batch, g.workers)
+		}
 		sepTime += time.Since(t1)
 		ssp.SetInt("violated", len(viol))
 		ssp.End()
@@ -247,6 +331,10 @@ func (g *genState) run() (*Result, error) {
 			st.ViolatedByRound = violByRound
 			st.SolveTime = solveTime
 			st.SeparationTime = sepTime
+			if g.ps != nil {
+				st.PresolvePrunedRows = g.ps.prunedRows()
+			}
+			st.PeakRows = g.eng.TableauRows()
 			res.Stats = st
 			return res, nil
 		}
@@ -301,6 +389,17 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 	maxRounds, batch, tol, workers := opt.loopParams(in)
 	w := opt.weights(n)
 
+	presolveOn, decomposeOn, err := opt.scaleSettings(in)
+	if err != nil {
+		return nil, err
+	}
+	if decomposeOn {
+		if res, done, err := solveDecomposed(in, b, opt, presolveOn); done {
+			return res, err
+		}
+		// Not decomposable (or branches stayed coupled): monolithic path.
+	}
+
 	tr := opt.tracer()
 	ebfSpan := tr.Start("ebf")
 	defer ebfSpan.End()
@@ -352,7 +451,11 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 		workers:   workers,
 		tr:        tr,
 	}
-	if gen.full {
+	if presolveOn && !gen.full {
+		gen.ps = newPresolve(in, b)
+	}
+	switch {
+	case gen.full:
 		for i := 1; i <= t.NumSinks; i++ {
 			for j := i + 1; j <= t.NumSinks; j++ {
 				gen.addPair(i, j)
@@ -363,7 +466,13 @@ func Solve(in *Instance, b Bounds, opt *Options) (*Result, error) {
 				gen.addPair(0, i)
 			}
 		}
-	} else {
+	case gen.ps != nil:
+		// Dominance needs every block witness stated from round 0; implied
+		// source rows are dropped here — the prune half of presolve.
+		for _, pr := range gen.ps.seedPairs() {
+			gen.addPair(pr[0], pr[1])
+		}
+	default:
 		for _, pr := range seedPairs(in) {
 			gen.addPair(pr[0], pr[1])
 		}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lubt/internal/topology"
+)
+
+// This file is the presolve layer of the §4.6 row generation: dominance
+// pruning over the sink-pair Steiner rows, plus the block-structured
+// separation oracle that exploits it. The two dominance arms are
+//
+//  1. path containment: if path(k,l) ⊆ path(i,j) and dist(i,j) ≤
+//     dist(k,l), then row (k,l) implies row (i,j) outright — the path sum
+//     over the superset can only be larger (dominatesContainment);
+//
+//  2. window dominance at a common LCA: for pairs (i,j) and (k,l) whose
+//     paths cross the same ordered child-subtree pair (A,B) under node v,
+//     the shared d_v term cancels and the stated delay windows carry the
+//     implication. If row (k,l) is stated and the windows enforce
+//     d_k ≤ cu_k, d_l ≤ cu_l, then at every LP-feasible point
+//     2·d_v ≤ cu_k + cu_l − dist(k,l), so with d_i ≥ λ_i, d_j ≥ λ_j,
+//
+//         pathlen(i,j) = d_i + d_j − 2·d_v
+//                      ≥ λ_i + λ_j − cu_k − cu_l + dist(k,l),
+//
+//     which meets dist(i,j) whenever
+//
+//         dist(i,j) − λ_i − λ_j ≤ dist(k,l) − cu_k − cu_l.
+//
+//     Here cu_x is the sink's enforced (finite) upper window and λ_x the
+//     enforced lower window, or 0 — path lengths are non-negative — when
+//     the lower side is vacuous (dominatesWindow).
+//
+// The oracle keeps, per (node v, ordered child pair) block, the witness
+// (k,l) maximizing dist(k,l) − cu_k − cu_l; the witness row is seeded
+// into the LP so arm 2 holds at every iterate, and every other pair in
+// the block passing the test above is never generated or priced. Because
+// Manhattan distance is a max of four separable linear forms in the
+// rotated coordinates u = x+y, v = x−y, the witness, the block-wide
+// static maximum of dist − λ − λ, and the per-round exact bound on the
+// block's worst violation all come from O(1) combinations of per-subtree
+// extremes maintained in one O(n) bottom-up fold.
+
+// psForms are the four rotated-coordinate linear forms whose pairwise
+// maximum is the Manhattan distance: dist(k,l) = max_f form_f(k) +
+// form_conj(f)(l), with conj(f) = f XOR 1.
+const psForms = 4
+
+// ext4 holds per-subtree maxima of the four forms, each shifted by a
+// per-sink adjustment, with the achieving sink.
+type ext4 struct {
+	m   [psForms]float64
+	arg [psForms]int
+}
+
+func emptyExt4() ext4 {
+	var e ext4
+	for f := 0; f < psForms; f++ {
+		e.m[f] = math.Inf(-1)
+		e.arg[f] = -1
+	}
+	return e
+}
+
+// fold widens e by o's extremes.
+func (e *ext4) fold(o ext4) {
+	for f := 0; f < psForms; f++ {
+		if o.m[f] > e.m[f] {
+			e.m[f] = o.m[f]
+			e.arg[f] = o.arg[f]
+		}
+	}
+}
+
+// sinkExt4 builds the single-sink extreme record for sink s with the
+// given per-sink adjustment (each form value is form(s) − adj).
+func sinkExt4(u, v, adj float64, s int) ext4 {
+	var e ext4
+	e.m[0], e.m[1] = u-adj, -u-adj
+	e.m[2], e.m[3] = v-adj, -v-adj
+	for f := 0; f < psForms; f++ {
+		e.arg[f] = s
+	}
+	return e
+}
+
+// maxCombo returns the exact maximum over pairs (k ∈ A, l ∈ B) of
+// dist(k,l) − adj_k − adj_l given the adjusted extremes of the two
+// subtrees, plus an achieving pair (−1s when either side is empty).
+func maxCombo(a, b ext4) (best float64, argA, argB int) {
+	best, argA, argB = math.Inf(-1), -1, -1
+	for f := 0; f < psForms; f++ {
+		if v := a.m[f] + b.m[f^1]; v > best {
+			best, argA, argB = v, a.arg[f], b.arg[f^1]
+		}
+	}
+	return best, argA, argB
+}
+
+// psBlock is one (internal node, ordered child-subtree pair) group of
+// sink-pair rows. All pairs in a block share their LCA, so window
+// dominance (arm 2) applies within it.
+type psBlock struct {
+	v, a, b int // node and the two child subtrees
+	// score is the witness objective dist(k,l) − cu_k − cu_l (−Inf when no
+	// pair with finite uppers exists); wi < wj is the witness pair.
+	score  float64
+	wi, wj int
+	// allDominated marks a block whose static maximum of dist − λ − λ is ≤
+	// score: every pair but the witness is dominated and the block is
+	// skipped wholesale.
+	allDominated bool
+	// counted marks that the block's pruned-pair count has been folded
+	// into the stats (set on the first scan, or at build time for
+	// allDominated blocks). Written only by the block's striped owner.
+	counted bool
+}
+
+// presolve is the dominance-pruning state of one Solve: immutable window
+// terms and block structure plus the per-round dynamic extremes.
+type presolve struct {
+	in      *Instance
+	lam, cu []float64 // enforced windows per sink (index 1…m)
+	uu, vv  []float64 // rotated sink coordinates (index 1…m)
+
+	order, lo, hi []int // DFS sink order and per-node spans
+
+	blocks []psBlock
+	// sourceImplied[i] marks source row (0,i) as implied by the sink's
+	// enforced lower window (λ_i ≥ dist(0,i)); such rows are pruned.
+	sourceImplied []bool
+
+	// pruned counts dominated rows never generated or priced: the
+	// closed-form count of allDominated blocks and implied source rows,
+	// plus per-pair counts folded in on each block's first scan.
+	pruned int64
+
+	dynExt []ext4 // per-node extremes of form − d, rebuilt each round
+}
+
+// enforcedWindowTerms lowers the stated bounds to the per-sink terms the
+// dominance arms may rely on: cu is the enforced upper window (+Inf when
+// none is stated) and λ the enforced lower window clamped at the
+// structural floor 0.
+func enforcedWindowTerms(b Bounds, m int) (lam, cu []float64) {
+	lam = make([]float64, m+1)
+	cu = make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		lo, hi, ok := delayWindow(b.L[i], b.U[i])
+		if !ok {
+			cu[i] = math.Inf(1)
+			continue
+		}
+		cu[i] = hi // delayWindow keeps hi = U[i] (possibly +Inf)
+		if !math.IsInf(lo, -1) && lo > 0 {
+			lam[i] = lo
+		}
+	}
+	return lam, cu
+}
+
+// newPresolve builds the dominance state for one instance + bounds: the
+// DFS spans, the per-block witnesses and static prune decisions, and the
+// implied-source-row marks. Cost is O(n) plus O(blocks).
+func newPresolve(in *Instance, b Bounds) *presolve {
+	t := in.Tree
+	m := t.NumSinks
+	ps := &presolve{in: in}
+	ps.lam, ps.cu = enforcedWindowTerms(b, m)
+	ps.uu = make([]float64, m+1)
+	ps.vv = make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		ps.uu[i], ps.vv[i] = in.SinkLoc[i].UV()
+	}
+	ps.order, ps.lo, ps.hi = t.SinkOrder()
+	ps.dynExt = make([]ext4, t.N())
+
+	// One bottom-up fold computes both adjusted extreme families.
+	cuExt := make([]ext4, t.N())
+	lamExt := make([]ext4, t.N())
+	post := t.Postorder()
+	for _, k := range post {
+		cuExt[k] = emptyExt4()
+		lamExt[k] = emptyExt4()
+		if t.IsSink(k) {
+			cuExt[k] = sinkExt4(ps.uu[k], ps.vv[k], ps.cu[k], k)
+			lamExt[k] = sinkExt4(ps.uu[k], ps.vv[k], ps.lam[k], k)
+		}
+		for _, c := range t.Children(k) {
+			cuExt[k].fold(cuExt[c])
+			lamExt[k].fold(lamExt[c])
+		}
+	}
+
+	for v := 0; v < t.N(); v++ {
+		ch := t.Children(v)
+		if len(ch) < 2 {
+			continue
+		}
+		for a := 0; a < len(ch); a++ {
+			for b := a + 1; b < len(ch); b++ {
+				ca, cb := ch[a], ch[b]
+				na := ps.hi[ca] - ps.lo[ca]
+				nb := ps.hi[cb] - ps.lo[cb]
+				if na == 0 || nb == 0 {
+					continue
+				}
+				blk := psBlock{v: v, a: ca, b: cb, score: math.Inf(-1), wi: -1, wj: -1}
+				score, wa, wb := maxCombo(cuExt[ca], cuExt[cb])
+				if wa >= 0 && !math.IsInf(score, -1) {
+					if wa > wb {
+						wa, wb = wb, wa
+					}
+					blk.score, blk.wi, blk.wj = score, wa, wb
+					staticMax, _, _ := maxCombo(lamExt[ca], lamExt[cb])
+					if staticMax <= score {
+						blk.allDominated = true
+						blk.counted = true
+						ps.pruned += int64(na)*int64(nb) - 1
+					}
+				}
+				ps.blocks = append(ps.blocks, blk)
+			}
+		}
+	}
+
+	if in.Source != nil {
+		ps.sourceImplied = make([]bool, m+1)
+		for i := 1; i <= m; i++ {
+			if ps.lam[i] >= in.Dist(0, i) {
+				ps.sourceImplied[i] = true
+				ps.pruned++
+			}
+		}
+	}
+	return ps
+}
+
+// seedPairs returns the rows to state upfront under presolve: every
+// block's witness (arm 2 requires the witness row in the LP at every
+// iterate) plus the non-implied source rows.
+func (ps *presolve) seedPairs() [][2]int {
+	var pairs [][2]int
+	for _, blk := range ps.blocks {
+		if blk.wi >= 0 {
+			pairs = append(pairs, [2]int{blk.wi, blk.wj})
+		}
+	}
+	if ps.in.Source != nil {
+		for i := 1; i <= ps.in.Tree.NumSinks; i++ {
+			if !ps.sourceImplied[i] {
+				pairs = append(pairs, [2]int{0, i})
+			}
+		}
+	}
+	return pairs
+}
+
+// prunedRows returns the cumulative dominated-row count.
+func (ps *presolve) prunedRows() int { return int(ps.pruned) }
+
+// refreshDyn recomputes the per-node extremes of form − d over subtree
+// sinks (O(n)) so each block's exact worst violation is available in
+// O(1): maxCombo(dyn[a], dyn[b]) + 2·d[v].
+func (ps *presolve) refreshDyn(d []float64) {
+	t := ps.in.Tree
+	for _, k := range t.Postorder() {
+		e := emptyExt4()
+		if t.IsSink(k) {
+			e = sinkExt4(ps.uu[k], ps.vv[k], d[k], k)
+		}
+		for _, c := range t.Children(k) {
+			e.fold(ps.dynExt[c])
+		}
+		ps.dynExt[k] = e
+	}
+}
+
+// violatedPairs is the block-structured separation oracle: same contract
+// and determinism guarantee as violatedPairsN (sorted by violation with
+// the pair as tie-break, top batch), but it skips whole blocks whose
+// exact violation bound clears the tolerance, and inside a scanned block
+// it skips statically dominated pairs. Blocks are striped across the
+// worker pool; each block has one owner per solve, which is what lets
+// the first-scan prune counting run without locks.
+func (ps *presolve) violatedPairs(d []float64, tol float64, batch, workers int) [][2]int {
+	t := ps.in.Tree
+	m := t.NumSinks
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if m < 64 || len(ps.blocks) == 0 {
+		workers = 1
+	}
+	if workers > len(ps.blocks) && len(ps.blocks) > 0 {
+		workers = len(ps.blocks)
+	}
+	ps.refreshDyn(d)
+
+	var vs []sepViol
+	var prunedNow int64
+	scan := func(start, stride int) ([]sepViol, int64) {
+		var local []sepViol
+		var pruned int64
+		for bi := start; bi < len(ps.blocks); bi += stride {
+			blk := &ps.blocks[bi]
+			if blk.allDominated {
+				// Only the witness row can bind; it is already stated.
+				continue
+			}
+			bound, _, _ := maxCombo(ps.dynExt[blk.a], ps.dynExt[blk.b])
+			if bound+2*d[blk.v] <= tol {
+				continue // exact bound: no pair in this block is violated
+			}
+			count := !blk.counted
+			if count {
+				blk.counted = true
+			}
+			dv2 := 2 * d[blk.v]
+			for _, i := range ps.order[ps.lo[blk.a]:ps.hi[blk.a]] {
+				for _, j := range ps.order[ps.lo[blk.b]:ps.hi[blk.b]] {
+					need := ps.in.Dist(i, j)
+					if need == 0 {
+						continue
+					}
+					pi, pj := i, j
+					if pi > pj {
+						pi, pj = pj, pi
+					}
+					if pi != blk.wi || pj != blk.wj {
+						if need-ps.lam[pi]-ps.lam[pj] <= blk.score {
+							if count {
+								pruned++
+							}
+							continue // dominated by the witness row
+						}
+					}
+					if viol := need - d[i] - d[j] + dv2; viol > tol {
+						local = append(local, sepViol{[2]int{pi, pj}, viol})
+					}
+				}
+			}
+		}
+		return local, pruned
+	}
+	if workers <= 1 {
+		vs, prunedNow = scan(0, 1)
+	} else {
+		locals := make([][]sepViol, workers)
+		counts := make([]int64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				locals[w], counts[w] = scan(w, workers)
+			}(w)
+		}
+		wg.Wait()
+		for w := range locals {
+			vs = append(vs, locals[w]...)
+			prunedNow += counts[w]
+		}
+	}
+	ps.pruned += prunedNow
+
+	if ps.in.Source != nil {
+		for i := 1; i <= m; i++ {
+			if ps.sourceImplied[i] {
+				continue
+			}
+			if need := ps.in.Dist(0, i); need-d[i] > tol {
+				vs = append(vs, sepViol{[2]int{0, i}, need - d[i]})
+			}
+		}
+	}
+	sort.Slice(vs, func(a, b int) bool {
+		if vs[a].amount != vs[b].amount {
+			return vs[a].amount > vs[b].amount
+		}
+		if vs[a].pair[0] != vs[b].pair[0] {
+			return vs[a].pair[0] < vs[b].pair[0]
+		}
+		return vs[a].pair[1] < vs[b].pair[1]
+	})
+	if len(vs) > batch {
+		vs = vs[:batch]
+	}
+	out := make([][2]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.pair
+	}
+	return out
+}
+
+// dominatesContainment reports arm 1: row (k,l) implies row (i,j)
+// because path(k,l) ⊆ path(i,j) — both k and l lie on the i–j path — and
+// dist(i,j) ≤ dist(k,l). Self-domination ((i,j) = (k,l)) reports false.
+func dominatesContainment(in *Instance, i, j, k, l int) bool {
+	t := in.Tree
+	if i > j {
+		i, j = j, i
+	}
+	if k > l {
+		k, l = l, k
+	}
+	if i == k && j == l {
+		return false
+	}
+	anc := t.LCA(i, j)
+	onPath := func(x int) bool {
+		if t.LCA(x, anc) != anc {
+			return false // above or beside the path's apex
+		}
+		return t.LCA(x, i) == x || t.LCA(x, j) == x
+	}
+	if !onPath(k) || !onPath(l) {
+		return false
+	}
+	return in.Dist(i, j) <= in.Dist(k, l)
+}
+
+// dominatesWindow reports arm 2: row (i,j) is implied by the stated row
+// (k,l) plus the delay windows, which requires both pairs to cross the
+// same ordered child-subtree pair under their common LCA. The caller
+// guarantees row (k,l) is (or will be) stated in the LP.
+// Self-domination reports false — a tie must keep its witness.
+func dominatesWindow(in *Instance, b Bounds, i, j, k, l int) bool {
+	t := in.Tree
+	if i > j {
+		i, j = j, i
+	}
+	if k > l {
+		k, l = l, k
+	}
+	if i == k && j == l {
+		return false
+	}
+	v := t.LCA(i, j)
+	if t.LCA(k, l) != v {
+		return false
+	}
+	// Each pair must straddle the same two child subtrees of v. A pair
+	// with an endpoint equal to v itself (a non-leaf sink) is degenerate:
+	// its path-length formula loses the cancelling d_v term, so the
+	// window argument does not apply.
+	ci, cj := childToward(t, v, i), childToward(t, v, j)
+	ck, cl := childToward(t, v, k), childToward(t, v, l)
+	if ci == v || cj == v || ck == v || cl == v {
+		return false
+	}
+	if !(ci == ck && cj == cl) && !(ci == cl && cj == ck) {
+		return false
+	}
+	// The test is symmetric in (k,l), so no re-orientation is needed.
+	lam, cu := enforcedWindowTerms(b, t.NumSinks)
+	if math.IsInf(cu[k], 1) || math.IsInf(cu[l], 1) {
+		return false
+	}
+	return in.Dist(i, j)-lam[i]-lam[j] <= in.Dist(k, l)-cu[k]-cu[l]
+}
+
+// childToward returns the child of v whose subtree contains x (v itself
+// when x == v).
+func childToward(t *topology.Tree, v, x int) int {
+	if x == v {
+		return v
+	}
+	for t.Parent[x] != v {
+		x = t.Parent[x]
+	}
+	return x
+}

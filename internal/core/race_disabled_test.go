@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceEnabled mirrors race_enabled_test.go for uninstrumented builds.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; the agreement suite uses it to skip the cold-solver
+// cross-checks whose single-threaded number crunching would push the
+// package past the test timeout under instrumentation (see
+// TestPresolveAgreement).
+const raceEnabled = true

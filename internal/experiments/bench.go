@@ -19,10 +19,16 @@ const BenchSchema = "lubt-bench/1"
 // a major version: consumers must ignore unknown keys, producers must
 // not remove or retype the ones below.
 type BenchRecord struct {
-	Schema  string         `json:"schema"`
-	Bench   string         `json:"bench"`
-	Sinks   int            `json:"sinks"`
-	Repeats int            `json:"repeats"`
+	Schema  string `json:"schema"`
+	Bench   string `json:"bench"`
+	Sinks   int    `json:"sinks"`
+	Repeats int    `json:"repeats"`
+	// Radius is the instance's source-to-farthest-sink Manhattan
+	// distance, the length scale every agreement tolerance in the
+	// harness is expressed against (CheckPresolveGate accepts cost
+	// disagreement up to 1e-6·radius) — appended in lubt-bench/1
+	// (append-only within the major version).
+	Radius  float64        `json:"radius"`
 	Engines []EngineRecord `json:"engines"`
 }
 
@@ -85,6 +91,17 @@ type EngineRecord struct {
 	LPSolveP99MS float64 `json:"lp_solve_p99_ms"`
 	PivotsP50    int     `json:"pivots_p50"`
 	PivotsP99    int     `json:"pivots_p99"`
+	// PresolvePrunedRows counts Steiner rows the dominance presolve
+	// proved redundant (never generated or priced), Subtrees how many
+	// root branches the subtree decomposition solved as independent
+	// subproblems (0 = monolithic solve), and PeakRows the largest
+	// active row count any single engine reached — the memory headline
+	// the decomposition exists to cut. All zero when the passes are off
+	// or the engine cannot run them — appended in lubt-bench/1
+	// (append-only within the major version).
+	PresolvePrunedRows int `json:"presolve_pruned_rows"`
+	Subtrees           int `json:"subtrees"`
+	PeakRows           int `json:"peak_rows"`
 }
 
 // durMS converts a duration to milliseconds for the *_ms JSON keys.
@@ -116,8 +133,9 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 			Bench:   name,
 			Sinks:   len(in.bench.Sinks),
 			Repeats: repeats,
+			Radius:  in.radius,
 		}
-		for _, eng := range statEngines {
+		for _, eng := range in.engines() {
 			run, err := in.runRepeated(base, l, u, eng, repeats)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, eng.Label, err)
@@ -125,7 +143,12 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 			res, st := run.res, run.res.Stats
 			var ecoPivots int
 			var ecoMS float64
-			if eng.Engine == "revised" && eng.Pricing == "devex" {
+			// The ECO probe holds a core.Session open, and sessions
+			// always solve monolithically without presolve (restaging
+			// needs the full row universe live) — at scale-class sizes
+			// that cold session solve would dwarf the whole record, so
+			// the probe only runs below the scale threshold.
+			if eng.Label == "revised" && !in.scale() {
 				ecoPivots, ecoMS, err = in.runECO(base, l, u, eng, repeats)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s eco: %w", name, eng.Label, err)
@@ -167,6 +190,9 @@ func BenchRecords(names []string, repeats int) ([]BenchRecord, error) {
 				LPSolveP99MS:       durMS(quantileDuration(run.lp, 0.99)),
 				PivotsP50:          quantileInt(run.pivots, 0.5),
 				PivotsP99:          quantileInt(run.pivots, 0.99),
+				PresolvePrunedRows: st.PresolvePrunedRows,
+				Subtrees:           st.Subtrees,
+				PeakRows:           st.PeakRows,
 			})
 		}
 		out = append(out, rec)
@@ -230,6 +256,18 @@ func ValidateBenchJSON(data []byte) error {
 		if e.PivotsP50 < 0 || e.PivotsP99 < e.PivotsP50 {
 			return fmt.Errorf("bench json: engines[%d]: pivot quantiles p50=%d p99=%d", i, e.PivotsP50, e.PivotsP99)
 		}
+		if e.PresolvePrunedRows < 0 {
+			return fmt.Errorf("bench json: engines[%d]: presolve_pruned_rows = %d", i, e.PresolvePrunedRows)
+		}
+		if e.Subtrees < 0 {
+			return fmt.Errorf("bench json: engines[%d]: subtrees = %d", i, e.Subtrees)
+		}
+		if e.PeakRows < 0 {
+			return fmt.Errorf("bench json: engines[%d]: peak_rows = %d", i, e.PeakRows)
+		}
+	}
+	if rec.Radius < 0 {
+		return fmt.Errorf("bench json: radius = %g", rec.Radius)
 	}
 	return nil
 }
@@ -263,6 +301,51 @@ func CheckPivotGate(rec BenchRecord) error {
 	if devex.Pivots > mv.Pivots {
 		return fmt.Errorf("pivot gate: %s: devex took %d pivots, most-violated baseline %d — Devex pricing regressed",
 			rec.Bench, devex.Pivots, mv.Pivots)
+	}
+	return nil
+}
+
+// CheckPresolveGate enforces the presolve regression gate behind ci.sh's
+// scale bench smoke: on a record that carries both the "revised" (auto
+// presolve + decomposition) and "revised-nopresolve" (both forced off)
+// engine rows, the presolve must have pruned a nonzero number of
+// candidate Steiner rows, the decomposed solve's peak active-row count
+// must not exceed the monolithic one, and the two optima must agree to
+// 1e-6·radius — the passes exist to cut memory and time, never to move
+// the answer. Records without the ablation pair (the sub-scale lineup,
+// hand-built ones) pass vacuously.
+func CheckPresolveGate(rec BenchRecord) error {
+	var auto, off *EngineRecord
+	for i := range rec.Engines {
+		switch rec.Engines[i].Engine {
+		case "revised":
+			auto = &rec.Engines[i]
+		case "revised-nopresolve":
+			off = &rec.Engines[i]
+		}
+	}
+	if auto == nil || off == nil {
+		return nil
+	}
+	if auto.PresolvePrunedRows <= 0 {
+		return fmt.Errorf("presolve gate: %s: auto row pruned %d rows — presolve is not biting at scale",
+			rec.Bench, auto.PresolvePrunedRows)
+	}
+	if off.PresolvePrunedRows != 0 || off.Subtrees != 0 {
+		return fmt.Errorf("presolve gate: %s: nopresolve row reports pruned=%d subtrees=%d — the off switch is leaking",
+			rec.Bench, off.PresolvePrunedRows, off.Subtrees)
+	}
+	if auto.PeakRows > 0 && off.PeakRows > 0 && auto.PeakRows > off.PeakRows {
+		return fmt.Errorf("presolve gate: %s: peak rows %d with presolve vs %d without — pruning grew the tableau",
+			rec.Bench, auto.PeakRows, off.PeakRows)
+	}
+	tol := 1e-6 * rec.Radius
+	if tol < 1e-6 {
+		tol = 1e-6
+	}
+	if d := auto.Cost - off.Cost; d > tol || d < -tol {
+		return fmt.Errorf("presolve gate: %s: cost %.10g with presolve vs %.10g without (|Δ| = %g > %g) — pruning moved the optimum",
+			rec.Bench, auto.Cost, off.Cost, d, tol)
 	}
 	return nil
 }

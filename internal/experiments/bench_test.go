@@ -103,7 +103,7 @@ func TestBenchJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
 		t.Fatal(err)
 	}
-	wantTop := []string{"schema", "bench", "sinks", "repeats", "engines"}
+	wantTop := []string{"schema", "bench", "sinks", "repeats", "radius", "engines"}
 	if len(top) != len(wantTop) {
 		t.Errorf("top-level has %d keys, want %d", len(top), len(wantTop))
 	}
@@ -126,6 +126,7 @@ func TestBenchJSONSchema(t *testing.T) {
 		"sep_scan_ns", "lp_solve_ns", "wall_ns",
 		"wall_p50_ms", "wall_p99_ms", "lp_solve_p50_ms", "lp_solve_p99_ms",
 		"pivots_p50", "pivots_p99",
+		"presolve_pruned_rows", "subtrees", "peak_rows",
 	}
 	if len(engines[0]) != len(wantEng) {
 		t.Errorf("engine record has %d keys, want %d (schema drift — bump lubt-bench version)",
@@ -243,6 +244,78 @@ func TestBenchJSONEcoGate(t *testing.T) {
 	}
 	if err := CheckEcoGate(rec); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBenchJSONPresolveGate applies the presolve/decomposition ablation
+// gate to an externally produced BENCH_*.json named by LUBT_BENCH_JSON
+// (skipped when unset). ci.sh runs it on the scale-class smoke instance
+// after `lubtbench -json`: presolve must prune rows, the decomposed peak
+// row count must not exceed the monolithic one, and the two optima must
+// agree to 1e-6·radius.
+func TestBenchJSONPresolveGate(t *testing.T) {
+	path := os.Getenv("LUBT_BENCH_JSON")
+	if path == "" {
+		t.Skip("LUBT_BENCH_JSON not set")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var rec BenchRecord
+	if err := dec.Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPresolveGate(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckPresolveGate exercises the presolve gate's decision table on
+// hand-built records.
+func TestCheckPresolveGate(t *testing.T) {
+	mk := func(mut func(*BenchRecord)) BenchRecord {
+		rec := BenchRecord{
+			Bench:  "x",
+			Radius: 1000,
+			Engines: []EngineRecord{
+				{Engine: "revised", Cost: 500, PresolvePrunedRows: 42, Subtrees: 8, PeakRows: 100},
+				{Engine: "revised-nopresolve", Cost: 500, PeakRows: 900},
+			},
+		}
+		if mut != nil {
+			mut(&rec)
+		}
+		return rec
+	}
+	if err := CheckPresolveGate(mk(nil)); err != nil {
+		t.Errorf("healthy record: %v", err)
+	}
+	// Costs differing within 1e-6·radius pass; beyond it fail.
+	if err := CheckPresolveGate(mk(func(r *BenchRecord) { r.Engines[0].Cost = 500 + 9e-4 })); err != nil {
+		t.Errorf("in-tolerance cost drift: %v", err)
+	}
+	if err := CheckPresolveGate(mk(func(r *BenchRecord) { r.Engines[0].Cost = 500 + 2e-3 })); err == nil {
+		t.Error("out-of-tolerance cost drift accepted")
+	}
+	if err := CheckPresolveGate(mk(func(r *BenchRecord) { r.Engines[0].PresolvePrunedRows = 0 })); err == nil {
+		t.Error("zero pruned rows accepted")
+	}
+	if err := CheckPresolveGate(mk(func(r *BenchRecord) { r.Engines[1].Subtrees = 3 })); err == nil {
+		t.Error("leaking off switch accepted")
+	}
+	if err := CheckPresolveGate(mk(func(r *BenchRecord) { r.Engines[0].PeakRows = 1000 })); err == nil {
+		t.Error("pruned peak above monolithic peak accepted")
+	}
+	// Missing ablation pair → vacuous pass.
+	if err := CheckPresolveGate(BenchRecord{Engines: []EngineRecord{{Engine: "revised"}}}); err != nil {
+		t.Errorf("no pair: %v", err)
+	}
+	// Tiny radius: the tolerance floors at 1e-6 absolute.
+	small := mk(func(r *BenchRecord) { r.Radius = 0; r.Engines[0].Cost = 500 + 1e-5 })
+	if err := CheckPresolveGate(small); err == nil {
+		t.Error("absolute-floor violation accepted at radius 0")
 	}
 }
 

@@ -50,12 +50,32 @@ func load(name string) (*instance, error) {
 	return inst, nil
 }
 
+// scaleSectors is how many angular sectors the scale-class baseline
+// router partitions the sinks into (see bst.RoutePartitioned): the
+// sectored topology keeps the O(m²) cluster merge tractable at 10k+
+// sinks and gives the root the independent branches the core's subtree
+// decomposition solves in parallel.
+const scaleSectors = 8
+
+// scale reports whether the instance is in the scale regime where the
+// harness switches to the sectored baseline and the reduced engine
+// lineup (the same threshold at which core.Solve's auto settings turn
+// presolve and decomposition on).
+func (in *instance) scale() bool {
+	return len(in.bench.Sinks) >= core.ScaleAutoSinks
+}
+
 // runBaseline routes the benchmark with the [9]-style router at skew
-// bound skewFrac·radius.
+// bound skewFrac·radius. Scale-class instances route through the
+// sector-partitioned variant instead: per-sector skew stays within
+// bound, and the cross-sector spread is left to the LP window.
 func (in *instance) runBaseline(skewFrac float64) (*bst.Result, error) {
 	bound := skewFrac * in.radius
 	if math.IsInf(skewFrac, 1) {
 		bound = math.Inf(1)
+	}
+	if in.scale() {
+		return bst.RoutePartitioned(in.bench.Sinks, bound, in.source, scaleSectors)
 	}
 	return bst.Route(in.bench.Sinks, bound, &in.source)
 }
@@ -85,11 +105,14 @@ func (in *instance) runLUBTOpts(base *bst.Result, l, u float64, opt *core.Option
 
 // engineSpec is one (engine, pricing) combination the stats/bench
 // harness exercises; Label is the row key that reaches the tables and
-// the lubt-bench/1 JSON.
+// the lubt-bench/1 JSON. Presolve/Decompose override core.Solve's
+// presolve and subtree-decomposition settings ("" = auto).
 type engineSpec struct {
-	Label   string
-	Engine  string
-	Pricing string
+	Label     string
+	Engine    string
+	Pricing   string
+	Presolve  string
+	Decompose string
 }
 
 // statEngines are the engine rows of `lubtbench -stats` / `-json`:
@@ -100,6 +123,26 @@ var statEngines = []engineSpec{
 	{Label: "revised", Engine: "revised", Pricing: "devex"},
 	{Label: "revised-mv", Engine: "revised", Pricing: "mostviolated"},
 	{Label: "dense", Engine: "dense"},
+}
+
+// scaleEngines is the lineup for scale-class benchmarks (at least
+// core.ScaleAutoSinks sinks): the revised engine under the auto
+// settings — presolve dominance pruning plus subtree decomposition —
+// against the same engine with both passes forced off. That is the
+// before/after ablation pair CheckPresolveGate compares. The dense and
+// most-violated rows are dropped at this size: a dense tableau on a
+// 10k-sink instance would dominate the whole smoke by itself.
+var scaleEngines = []engineSpec{
+	{Label: "revised", Engine: "revised", Pricing: "devex"},
+	{Label: "revised-nopresolve", Engine: "revised", Pricing: "devex", Presolve: "off", Decompose: "off"},
+}
+
+// engines picks the engine lineup by instance size.
+func (in *instance) engines() []engineSpec {
+	if in.scale() {
+		return scaleEngines
+	}
+	return statEngines
 }
 
 // EngineStats solves every benchmark with the warm LP engine lineup —
@@ -131,7 +174,7 @@ func EngineStatsN(names []string, repeats int) (*table.Table, error) {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		l, u := windowFor(base, in.radius, 0.1)
-		for _, eng := range statEngines {
+		for _, eng := range in.engines() {
 			run, err := in.runRepeated(base, l, u, eng, repeats)
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, eng.Label, err)
@@ -175,7 +218,10 @@ func (in *instance) runRepeated(base *bst.Result, l, u float64, eng engineSpec, 
 	run := &repeatedRun{}
 	for r := 0; r < repeats; r++ {
 		t0 := time.Now()
-		res, err := in.runLUBTOpts(base, l, u, &core.Options{Engine: eng.Engine, Pricing: eng.Pricing})
+		res, err := in.runLUBTOpts(base, l, u, &core.Options{
+			Engine: eng.Engine, Pricing: eng.Pricing,
+			Presolve: eng.Presolve, Decompose: eng.Decompose,
+		})
 		wall := time.Since(t0)
 		if err != nil {
 			return nil, err

@@ -161,6 +161,16 @@
 // fired ("basis-mismatch", "lu-singular", "dual-drift",
 // "pivot-disagreement").
 //
+// Three fields carry the internal/core scale-path story (DESIGN §8)
+// and reach the lubt-bench/1 JSON under the same names:
+// PresolvePrunedRows (presolve_pruned_rows) counts sink-pair Steiner
+// rows the dominance presolve removed before pricing; Subtrees
+// (subtrees) the root-branch subproblems the decomposition solved on
+// independent engines (0 = monolithic); PeakRows (peak_rows) the
+// largest tableau any single engine reached — Merge sums the first
+// two across branches and takes the max of the third, so a decomposed
+// solve reports the per-branch peak rather than the misleading total.
+//
 // Engines that implement Traceable (only Revised) accept an
 // *obs.Tracer and emit spans for refactorizations and basis resets with
 // the gauge values as attributes; a nil tracer is free. The

@@ -98,6 +98,19 @@ type Stats struct {
 	// without setting it fall back to the legacy take-when-positive rule.
 	GaugesValid bool
 
+	// PresolvePrunedRows counts sink-pair Steiner rows the presolve
+	// dominance pass removed from the separation oracle's scan before they
+	// were ever generated or priced (filled by internal/core; 0 with
+	// presolve off). Subtrees is the number of root-branch subproblems the
+	// decomposition layer solved on independent engines (0 or 1 for a
+	// monolithic solve). PeakRows is the largest engine-internal tableau
+	// row count any single engine reached during the solve — under
+	// decomposition this is the per-branch peak, the memory-pressure
+	// number the monolithic TableauRows overstates.
+	PresolvePrunedRows int
+	Subtrees           int
+	PeakRows           int
+
 	// Rounds is the number of row-generation rounds (filled by
 	// internal/core).
 	Rounds int
@@ -128,6 +141,11 @@ func (s *Stats) Merge(other Stats) {
 	s.DevexResets += other.DevexResets
 	if other.PricingScheme != "" {
 		s.PricingScheme = other.PricingScheme
+	}
+	s.PresolvePrunedRows += other.PresolvePrunedRows
+	s.Subtrees += other.Subtrees
+	if other.PeakRows > s.PeakRows {
+		s.PeakRows = other.PeakRows
 	}
 	s.Rounds += other.Rounds
 	s.SeparationTime += other.SeparationTime
@@ -203,6 +221,10 @@ func (s Stats) String() string {
 	if s.PricingScheme != "" {
 		fmt.Fprintf(&b, "pricing %s  devex-resets %d  weights [%.3g, %.3g]\n",
 			s.PricingScheme, s.DevexResets, s.WeightMin, s.WeightMax)
+	}
+	if s.PresolvePrunedRows > 0 || s.Subtrees > 0 || s.PeakRows > 0 {
+		fmt.Fprintf(&b, "presolve-pruned %d  subtrees %d  peak-rows %d\n",
+			s.PresolvePrunedRows, s.Subtrees, s.PeakRows)
 	}
 	fmt.Fprintf(&b, "sep-scan %v  lp-solve %v", s.SeparationTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
 	if len(s.ResetReasons) > 0 {

@@ -24,10 +24,16 @@ const (
 )
 
 // bucketIndex maps a value to its bucket. Non-positive values and NaN
-// land in the underflow bucket.
+// land in the underflow bucket, +Inf in the overflow bucket (Frexp(+Inf)
+// returns an infinite fraction, which must not reach the float→int
+// sub-bucket conversion — that conversion is undefined for values out of
+// int range).
 func bucketIndex(v float64) int {
 	if !(v > 0) {
 		return 0
+	}
+	if math.IsInf(v, 1) {
+		return numBuckets - 1
 	}
 	f, e := math.Frexp(v) // v = f·2^e, f ∈ [0.5, 1) ⇒ v ∈ [2^(e-1), 2^e)
 	o := e - 1
@@ -80,12 +86,15 @@ func NewHistogram() *Histogram {
 	return h
 }
 
-// Observe records one sample. NaN and negative samples count into the
-// underflow bucket (they indicate a caller bug, but a telemetry layer
-// must not panic the daemon over one). Allocation-free on both the
-// enabled and the nil path.
+// Observe records one sample. NaN samples are dropped outright — one
+// would otherwise poison the CAS-accumulated sum and min/max for the
+// histogram's whole lifetime (NaN propagates through every later
+// addition and wins every comparison guard). Negative samples count
+// into the underflow bucket (they indicate a caller bug, but a
+// telemetry layer must not panic the daemon over one). Allocation-free
+// on both the enabled and the nil path.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || math.IsNaN(v) {
 		return
 	}
 	// Bucket before count: a concurrent Quantile that loads count first
@@ -162,7 +171,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if n == 0 {
 		return 0
 	}
-	if q < 0 {
+	// The clamp must catch NaN too: NaN fails both ordered comparisons,
+	// and uint64(Ceil(NaN·n)) below would be an undefined conversion.
+	if !(q > 0) {
 		q = 0
 	} else if q > 1 {
 		q = 1

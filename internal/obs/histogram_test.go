@@ -124,19 +124,20 @@ func TestHistogramQuantileBounds(t *testing.T) {
 	}
 }
 
-// TestHistogramUnderflowOverflow: zeros, negatives and NaN land in the
-// underflow bucket without panicking; huge values hit the overflow
-// bucket whose boundary is +Inf but whose quantile clamps to Max.
+// TestHistogramUnderflowOverflow: zeros and negatives land in the
+// underflow bucket without panicking (NaN is dropped — see
+// TestHistogramNonFinite); huge values hit the overflow bucket whose
+// boundary is +Inf but whose quantile clamps to Max.
 func TestHistogramUnderflowOverflow(t *testing.T) {
 	h := NewHistogram()
 	h.Observe(0)
 	h.Observe(-3)
 	h.Observe(math.NaN())
-	if h.Count() != 3 {
-		t.Fatalf("count = %d, want 3", h.Count())
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (NaN dropped)", h.Count())
 	}
 	snap := h.Snapshot()
-	if len(snap.Buckets) < 1 || snap.Buckets[0].Count != 3 {
+	if len(snap.Buckets) < 1 || snap.Buckets[0].Count != 2 {
 		t.Fatalf("underflow bucket: %+v", snap.Buckets)
 	}
 
@@ -171,5 +172,73 @@ func TestBucketIndexUpperRoundTrip(t *testing.T) {
 		if i > 0 && v < bucketUpper(i-1) {
 			t.Errorf("v=%v below previous bucket %d upper %v", v, i-1, bucketUpper(i-1))
 		}
+	}
+}
+
+// TestHistogramNonFinite is the regression suite for NaN and ±Inf in
+// both the recording and the query path. A NaN sample must be dropped
+// before it can poison the CAS-accumulated sum or the min/max (NaN
+// propagates through every later addition and wins every comparison
+// guard); ±Inf must bucket deterministically (+Inf cannot be allowed to
+// reach the float→int sub-bucket conversion, which is undefined out of
+// int range); and a NaN quantile must clamp like an out-of-range one
+// instead of feeding uint64(NaN) into the rank.
+func TestHistogramNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		v       float64
+		counted bool
+		bucket  int // meaningful when counted
+		wantSum float64
+		wantMin float64
+		wantMax float64
+	}{
+		{"nan dropped", math.NaN(), false, 0, 3, 3, 3},
+		{"+inf overflows", math.Inf(1), true, numBuckets - 1, math.Inf(1), 3, math.Inf(1)},
+		{"-inf underflows", math.Inf(-1), true, 0, math.Inf(-1), math.Inf(-1), 3},
+		{"negative underflows", -7, true, 0, -4, -7, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram()
+			h.Observe(3) // a clean sample the special value must not corrupt
+			h.Observe(tc.v)
+			want := uint64(2)
+			if !tc.counted {
+				want = 1
+			}
+			if h.Count() != want {
+				t.Fatalf("count = %d, want %d", h.Count(), want)
+			}
+			if tc.counted && h.buckets[tc.bucket].Load() == 0 {
+				t.Errorf("bucket %d empty, wanted the %v sample", tc.bucket, tc.v)
+			}
+			check := func(name string, got, want float64) {
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Errorf("%s = %v, want %v", name, got, want)
+				}
+				if math.IsNaN(got) {
+					t.Errorf("%s is NaN", name)
+				}
+			}
+			check("Sum", h.Sum(), tc.wantSum)
+			check("Min", h.Min(), tc.wantMin)
+			check("Max", h.Max(), tc.wantMax)
+			// The query path: a NaN q behaves like q = 0 (clamped), never
+			// an undefined conversion.
+			if got := h.Quantile(math.NaN()); math.IsNaN(got) {
+				t.Errorf("Quantile(NaN) = NaN")
+			} else if want := h.Quantile(0); got != want {
+				t.Errorf("Quantile(NaN) = %v, want the q=0 clamp %v", got, want)
+			}
+		})
+	}
+	// bucketIndex itself must be total over the float64 specials.
+	for _, v := range []float64{math.NaN(), math.Inf(-1), 0, math.SmallestNonzeroFloat64} {
+		if got := bucketIndex(v); got != 0 {
+			t.Errorf("bucketIndex(%v) = %d, want underflow 0", v, got)
+		}
+	}
+	if got := bucketIndex(math.Inf(1)); got != numBuckets-1 {
+		t.Errorf("bucketIndex(+Inf) = %d, want overflow %d", got, numBuckets-1)
 	}
 }

@@ -149,6 +149,15 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: 400, code: "bad_request", detail: fmt.Sprintf(format, args...)}
 }
 
+// badWindow is the 422 for a structurally malformed delay window (NaN,
+// or lower > upper): the request parsed fine but can never be solved,
+// mirroring the 422 used for infeasible instances. Validated at request
+// decoding for both /solve and /eco so a bad window never reaches a
+// solver — or worse, a cached warm engine.
+func badWindow(format string, args ...any) *httpError {
+	return &httpError{status: 422, code: "bad_window", detail: fmt.Sprintf(format, args...)}
+}
+
 // inf replaces the wire convention "≤ 0 means unbounded" with +inf.
 func inf(u float64) float64 {
 	if u <= 0 {
@@ -188,10 +197,10 @@ func (req *SolveRequest) bounds(m int, radius float64) (lubt.Bounds, *httpError)
 	for i := 0; i < m; i++ {
 		l, u := b.Lower[i], b.Upper[i]
 		if math.IsNaN(l) || math.IsNaN(u) || math.IsInf(l, 0) {
-			return b, badRequest("sink %d window [%g, %g] is not a number", i, l, u)
+			return b, badWindow("sink %d window [%g, %g] is not a number", i, l, u)
 		}
 		if l < 0 || l > u {
-			return b, badRequest("sink %d window [%g, %g] is empty or negative", i, l, u)
+			return b, badWindow("sink %d window [%g, %g] is empty or negative", i, l, u)
 		}
 	}
 	return b, nil

@@ -801,6 +801,9 @@ func (s *Server) eco(req *EcoRequest, st *reqState) (*SolveResponse, *httpError)
 	edits := 0
 	for _, edit := range req.Retighten {
 		l, u := edit.window()
+		if math.IsNaN(l) || math.IsNaN(u) || l > u {
+			return nil, badWindow("sink %d window [%g, %g] is empty or not a number", edit.Sink, l, u)
+		}
 		if err := e.solved.Retighten(edit.Sink, l, u); err != nil {
 			return nil, badRequest("%v", err)
 		}

@@ -162,7 +162,26 @@ func TestSolveBadRequests(t *testing.T) {
 	t.Run("empty window", func(t *testing.T) {
 		req := solveReq(b, 5000, 10) // lower > upper
 		rr := post(req)
-		decodeError(t, rr.Body, rr.Code, 400, "bad_request")
+		decodeError(t, rr.Body, rr.Code, 422, "bad_window")
+	})
+	t.Run("nan window", func(t *testing.T) {
+		// JSON cannot carry a NaN literal, but a normalized request over a
+		// degenerate zero-radius instance produces one below the decoder
+		// (+Inf upper × 0 radius); bounds() must reject it as 422.
+		req := solveReq(b, 0, 0)
+		req.Lower = []float64{math.NaN()}
+		req.Upper = []float64{9000}
+		if _, herr := req.bounds(1, 0); herr == nil {
+			t.Fatal("NaN lower accepted")
+		} else if herr.status != 422 || herr.code != "bad_window" {
+			t.Fatalf("NaN lower: got %d %q, want 422 bad_window", herr.status, herr.code)
+		}
+		nan := &SolveRequest{Normalized: true, UpperAll: math.NaN()}
+		if _, herr := nan.bounds(1, 1); herr == nil {
+			t.Fatal("NaN upper accepted")
+		} else if herr.status != 422 || herr.code != "bad_window" {
+			t.Fatalf("NaN upper: got %d %q, want 422 bad_window", herr.status, herr.code)
+		}
 	})
 	t.Run("window length", func(t *testing.T) {
 		req := solveReq(b, 0, 0)
@@ -862,4 +881,28 @@ func TestQueueOverload(t *testing.T) {
 	rr := httptest.NewRecorder()
 	srv.ServeHTTP(rr, req.WithContext(ctx))
 	decodeError(t, rr.Body, rr.Code, 503, "unavailable")
+}
+
+// TestEcoBadWindow pins the /eco half of the window validation: a
+// malformed retighten window (lower above a finite upper) must be
+// rejected as 422 bad_window at request decoding — before it reaches
+// the cached warm engine — and the session must stay usable afterwards.
+func TestEcoBadWindow(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	b := wkld.Custom("badwin16", 16, 3)
+	l, u, _ := coldBaseline(t, srv, b)
+	cold := decodeSolve(t, postJSON(t, srv, "/solve", solveReq(b, l, u)))
+	if cold.Cache != "miss" {
+		t.Fatalf("first keyed solve served %q, want miss", cold.Cache)
+	}
+	rr := postJSON(t, srv, "/eco", &EcoRequest{
+		Key:       cold.Key,
+		Retighten: []WindowEdit{{Sink: 1, Lower: u, Upper: 0.25 * u}},
+	})
+	decodeError(t, rr.Body, rr.Code, 422, "bad_window")
+	again := decodeSolve(t, postJSON(t, srv, "/eco", &EcoRequest{Key: cold.Key}))
+	if again.Cache != "hit" {
+		t.Fatalf("session unusable after rejected window: served %q", again.Cache)
+	}
 }

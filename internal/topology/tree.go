@@ -3,6 +3,7 @@ package topology
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Tree is a rooted tree topology. Construct with New and do not mutate the
@@ -191,6 +192,63 @@ func (t *Tree) Path(i, j int) []int {
 		edges = append(edges, x)
 	}
 	return edges
+}
+
+// SinkOrder returns the sinks (1…NumSinks) in DFS first-visit order
+// together with, for every node v, the half-open span [lo[v], hi[v]) of
+// positions in that order covered by v's subtree. Because a DFS visits
+// each subtree contiguously, a subtree's sink set is always one slice
+// order[lo[v]:hi[v]] — this is what lets the presolve pass in
+// internal/core enumerate child-subtree sink blocks without touching the
+// Euler-tour internals. Nodes with no sinks below get an empty span
+// (lo[v] == hi[v]).
+func (t *Tree) SinkOrder() (order, lo, hi []int) {
+	order = make([]int, t.NumSinks)
+	for i := range order {
+		order[i] = i + 1
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return t.firstVisit[order[a]] < t.firstVisit[order[b]]
+	})
+	pos := make([]int, t.N())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for p, s := range order {
+		pos[s] = p
+	}
+	n := t.N()
+	lo = make([]int, n)
+	hi = make([]int, n)
+	for i := range lo {
+		lo[i] = t.NumSinks // past any position; min-folds below
+		hi[i] = -1
+	}
+	for _, v := range t.Postorder() {
+		if pos[v] >= 0 {
+			if pos[v] < lo[v] {
+				lo[v] = pos[v]
+			}
+			if pos[v]+1 > hi[v] {
+				hi[v] = pos[v] + 1
+			}
+		}
+		if v != 0 {
+			p := t.Parent[v]
+			if lo[v] < lo[p] {
+				lo[p] = lo[v]
+			}
+			if hi[v] > hi[p] {
+				hi[p] = hi[v]
+			}
+		}
+	}
+	for v := range lo {
+		if hi[v] < 0 {
+			lo[v], hi[v] = 0, 0
+		}
+	}
+	return order, lo, hi
 }
 
 // Postorder returns the nodes in postorder (children before parents).

@@ -14,7 +14,10 @@ import (
 // Die is the synthetic die side length in routing units.
 const Die = 10000.0
 
-// published sink counts of the original benchmarks.
+// published sink counts of the original benchmarks; r6/r7 are synthetic
+// scale-up classes (one and two orders of magnitude past r4) for the
+// presolve + decomposition path — no published counterpart exists, so
+// round counts are used.
 var sinkCounts = map[string]int{
 	"prim1": 269,
 	"prim2": 603,
@@ -23,6 +26,8 @@ var sinkCounts = map[string]int{
 	"r3":    862,
 	"r4":    1903,
 	"r5":    3101,
+	"r6":    10000,
+	"r7":    100000,
 }
 
 // Benchmark is one workload instance.

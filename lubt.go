@@ -118,6 +118,20 @@ type Options struct {
 	// GOMAXPROCS. The oracle's output order is deterministic for any
 	// worker count.
 	OracleWorkers int
+	// Presolve controls the dominance-pruning presolve pass: "" (auto —
+	// on from 2048 sinks up, off below so small solves keep the legacy
+	// oracle exactly), "on", or "off". Presolved solves report the pruned
+	// row count in SolveStats.PresolvePrunedRows and never change the
+	// optimum. Requires every sink to be a leaf (Lemma 3.1); other
+	// topologies quietly run the legacy oracle.
+	Presolve string
+	// Decompose controls root-branch subtree decomposition: "" (auto —
+	// engages from 2048 sinks up when the source is fixed and the
+	// topology has two or more root branches), "on" (also permits the
+	// bounded free-source coordination passes, falling back to the
+	// monolithic solve when branches stay coupled), or "off".
+	// SolveStats.Subtrees reports the branch count (0 = monolithic).
+	Decompose string
 	// TraceJSON, when non-nil, enables span tracing for the solve and
 	// writes the resulting span tree (schema "lubt-trace/1"; see package
 	// internal/obs) to the writer on success. Nil (the default) disables
@@ -308,6 +322,8 @@ func (in *Instance) Solve(b Bounds, opt *Options) (*Tree, error) {
 		copts.FullMatrix = opt.FullMatrix
 		copts.OracleWorkers = opt.OracleWorkers
 		copts.Pricing = opt.Pricing
+		copts.Presolve = opt.Presolve
+		copts.Decompose = opt.Decompose
 		if opt.Weights != nil {
 			copts.Weights = opt.Weights
 		}

@@ -437,3 +437,46 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("serialized routes sum to %g, cost %g", total, tree.Cost)
 	}
 }
+
+// TestRetightenRejectsBadWindows pins the facade-level validation: a
+// NaN or empty (l > u) window must error out of Solved.Retighten
+// directly, before the warm engine sees the edit, and the session must
+// stay usable afterwards.
+func TestRetightenRejectsBadWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst, err := NewInstance(randPoints(rng, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.UseSkewGuidedTopology(10); err != nil {
+		t.Fatal(err)
+	}
+	r := inst.Radius()
+	solved, err := inst.SolveECO(Uniform(10, 0.8*r, 1.3*r), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solved.Close()
+	for _, tc := range []struct {
+		name string
+		l, u float64
+	}{
+		{"nan lower", math.NaN(), 1.3 * r},
+		{"nan upper", 0.8 * r, math.NaN()},
+		{"empty", 1.3 * r, 0.8 * r},
+	} {
+		if err := solved.Retighten(0, tc.l, tc.u); err == nil {
+			t.Errorf("%s: Retighten(0, %g, %g) accepted", tc.name, tc.l, tc.u)
+		}
+	}
+	if err := solved.Retighten(-1, 0.8*r, 1.3*r); err == nil {
+		t.Error("out-of-range sink accepted")
+	}
+	// The rejected edits must not have wedged the session.
+	if err := solved.Retighten(0, 0.9*r, 1.3*r); err != nil {
+		t.Fatalf("valid Retighten after rejections: %v", err)
+	}
+	if _, err := solved.Resolve(); err != nil {
+		t.Fatalf("Resolve after rejected edits: %v", err)
+	}
+}

@@ -107,6 +107,16 @@ type SolveStats struct {
 	NumericalResidual  float64
 	PivotMin, PivotMax float64
 	ResetReasons       []string
+	// PresolvePrunedRows counts candidate Steiner rows the dominance
+	// presolve proved implied and never generated or priced (0 with
+	// presolve off or below the auto threshold). Subtrees is the number of
+	// root-branch subproblems the solve was decomposed into (0 for a
+	// monolithic solve). PeakRows is the largest tableau row count any
+	// single engine held — under decomposition this is the per-branch
+	// memory high-water mark, not the sum.
+	PresolvePrunedRows int
+	Subtrees           int
+	PeakRows           int
 	// ViolatedByRound is the separation oracle's violated-pair count per
 	// round (0 in the last entry on convergence).
 	ViolatedByRound []int
@@ -128,6 +138,10 @@ func (s SolveStats) String() string {
 		s.Refactorizations, s.BasisSize, s.FillIn, s.Resets, s.BoundFlips)
 	if s.Restages > 0 || s.RowReplacements > 0 {
 		fmt.Fprintf(&b, "restages %d  row-replacements %d\n", s.Restages, s.RowReplacements)
+	}
+	if s.PresolvePrunedRows > 0 || s.Subtrees > 0 || s.PeakRows > 0 {
+		fmt.Fprintf(&b, "presolve-pruned %d  subtrees %d  peak-rows %d\n",
+			s.PresolvePrunedRows, s.Subtrees, s.PeakRows)
 	}
 	fmt.Fprintf(&b, "eta-len %d  residual %.3g  pivot-el [%.3g, %.3g]\n",
 		s.EtaLen, s.NumericalResidual, s.PivotMin, s.PivotMax)
@@ -179,6 +193,9 @@ func solveStatsFromLP(st lp.Stats) SolveStats {
 		WeightMax:          st.WeightMax,
 		EtaLen:             st.EtaLen,
 		NumericalResidual:  st.NumericalResidual,
+		PresolvePrunedRows: st.PresolvePrunedRows,
+		Subtrees:           st.Subtrees,
+		PeakRows:           st.PeakRows,
 		PivotMin:           st.PivotMin,
 		PivotMax:           st.PivotMax,
 		ResetReasons:       append([]string(nil), st.ResetReasons...),

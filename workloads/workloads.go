@@ -1,8 +1,10 @@
 // Package workloads exposes the benchmark instances used throughout the
 // repository — deterministic synthetic stand-ins for the prim1/prim2
-// (MCNC) and r1–r5 (Tsay) clock benchmarks of the paper's evaluation —
-// through the public lubt types. See DESIGN.md for why stand-ins are used
-// and what they preserve.
+// (MCNC) and r1–r5 (Tsay) clock benchmarks of the paper's evaluation,
+// plus the r6/r7 scale classes (10k and 100k sinks, no published
+// counterpart) that exercise the presolve + decomposition path —
+// through the public lubt types. See DESIGN.md for why stand-ins are
+// used and what they preserve.
 package workloads
 
 import (

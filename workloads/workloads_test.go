@@ -25,11 +25,38 @@ func TestMustLoadPanics(t *testing.T) {
 }
 
 func TestCustomAndNames(t *testing.T) {
-	if len(Names()) != 7 {
+	if len(Names()) != 9 {
 		t.Errorf("Names = %v", Names())
 	}
 	c := Custom("x", 10, 1)
 	if len(c.Sinks) != 10 {
 		t.Error("Custom size wrong")
+	}
+}
+
+// TestScaleClassesRegistered pins the r6/r7 scale-up classes (10k and
+// 100k sinks, the presolve + decomposition workloads) to the registry:
+// both load through the public API, deterministically.
+func TestScaleClassesRegistered(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sinks int
+	}{
+		{"r6", 10000},
+		{"r7", 100000},
+		{"r6-s", 2500},
+		{"r7-s", 25000},
+	} {
+		in, err := Load(tc.name)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", tc.name, err)
+		}
+		if len(in.Sinks) != tc.sinks {
+			t.Errorf("%s: %d sinks, want %d", tc.name, len(in.Sinks), tc.sinks)
+		}
+		again := MustLoad(tc.name)
+		if in.Sinks[0] != again.Sinks[0] || in.Sinks[len(in.Sinks)-1] != again.Sinks[len(in.Sinks)-1] {
+			t.Errorf("%s: generation is not deterministic", tc.name)
+		}
 	}
 }
